@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 1 (crafting one adversarial example)."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure1_example(benchmark, bench_context, results_dir):
+    result = run_once(benchmark,
+                      lambda: run_experiment("figure1", bench_context, n_added_features=2))
+    rendered = result.render()
+    save_rendering(results_dir, "figure1_example", rendered)
+    print("\n" + rendered)
+    assert result.original_prediction == 1
+    assert len(result.added_apis) <= 2
+    assert (result.adversarial_malware_confidence
+            <= result.original_malware_confidence)

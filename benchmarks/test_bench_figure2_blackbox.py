@@ -1,0 +1,19 @@
+"""Bench: run the Figure 2 black-box attack framework end to end."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure2_blackbox(benchmark, bench_context, results_dir):
+    result = run_once(benchmark,
+                      lambda: run_experiment("figure2", bench_context,
+                                             augmentation_rounds=2))
+    rendered = result.render()
+    save_rendering(results_dir, "figure2_blackbox", rendered)
+    print("\n" + rendered)
+    assert result.report.oracle_queries > 0
+    assert result.report.substitute_agreement > 0.6
+    # the black-box attack must be weaker than (or at best equal to) the
+    # white-box attack but still reduce detection below the clean baseline
+    assert result.target_detection_rate <= result.baseline_detection_rate

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 3 (white-box security evaluation curves).
+
+Qualitative checks mirror Section III-A: the detection rate collapses as the
+attack strength grows (towards ~0.1 at θ=0.1, γ=0.025 in the paper), while
+randomly adding the same number of features leaves detection unchanged.
+"""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure3_whitebox(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("figure3", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "figure3_whitebox", rendered)
+    print("\n" + rendered)
+
+    gamma_rates = result.gamma_curve.detection_rates("target")
+    theta_rates = result.theta_curve.detection_rates("target")
+    # curves start at the no-attack baseline and collapse with strength
+    assert gamma_rates[0] == result.baseline_detection_rate
+    assert gamma_rates[-1] < 0.5 * gamma_rates[0]
+    assert theta_rates[-1] < 0.5 * theta_rates[0]
+    # at the paper's operating point most malware evades
+    assert result.operating_point_detection() < 0.4
+    # the random-addition control stays near the baseline
+    assert result.attack_beats_random()
+    random_rates = result.random_gamma_curve.detection_rates("target")
+    assert min(random_rates) > result.baseline_detection_rate - 0.15

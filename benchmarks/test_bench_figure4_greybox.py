@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 4 (grey-box security evaluation curves).
+
+Qualitative checks mirror Section III-B: substitute-crafted examples
+transfer to the target (its detection rate drops well below the no-attack
+baseline), the grey-box attack is weaker than the white-box attack, and the
+binary-feature substitute (less feature knowledge) transfers far worse than
+the exact-feature substitute.
+"""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure4_greybox(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("figure4", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "figure4_greybox", rendered)
+    print("\n" + rendered)
+
+    baseline = result.baseline_detection_rate
+    target_rates = result.gamma_curve.detection_rates("target")
+    substitute_rates = result.gamma_curve.detection_rates("substitute")
+
+    # the attack fools the substitute it was crafted on, and transfers
+    assert min(substitute_rates) < 0.3
+    assert min(target_rates) < baseline - 0.3
+    # grey-box is weaker than (or equal to) the attack on the substitute itself
+    assert min(target_rates) >= min(substitute_rates) - 0.05
+    # binary-feature substitute: fooled itself, but transfers much worse
+    binary_substitute_rates = result.binary_gamma_curve.detection_rates("substitute")
+    binary_target_rates = result.binary_gamma_curve.detection_rates("target")
+    assert min(binary_substitute_rates) < 0.3
+    assert min(binary_target_rates) > min(target_rates)
+    assert result.count_attack_transfers_better_than_binary()

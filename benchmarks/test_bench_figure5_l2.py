@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 5 (L2 distances across populations).
+
+Qualitative check (Section III-B): L2(malware, adversarial) <
+L2(malware, clean) < L2(clean, adversarial), with the adversarial distance
+growing as the attack strength increases — adversarial examples live in a
+blind spot away from the clean population, not on the decision boundary.
+"""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_figure5_l2(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("figure5", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "figure5_l2", rendered)
+    print("\n" + rendered)
+    assert result.ordering_holds_everywhere()
+    assert result.distances_grow_with_strength()

@@ -1,0 +1,26 @@
+"""Bench: regenerate the Section III-B live grey-box source-modification test.
+
+The paper's trace: 98.43% malware confidence originally, 88.88% after adding
+the chosen API call once, 0% after adding it eight times.  The qualitative
+check is that the engine's confidence decays monotonically-ish and ends far
+below where it started.
+"""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_live_greybox(benchmark, bench_context, results_dir):
+    result = run_once(benchmark,
+                      lambda: run_experiment("live_greybox", bench_context,
+                                             max_repetitions=8))
+    rendered = result.render()
+    save_rendering(results_dir, "live_greybox", rendered)
+    print("\n" + rendered)
+
+    trace = result.trace
+    assert result.confidence_decreases()
+    # the engine's confidence after eight injected calls is far below the
+    # original confidence (the paper reaches 0.0)
+    assert trace.final_confidence < trace.original_confidence - 0.3

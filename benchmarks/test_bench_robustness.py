@@ -1,0 +1,49 @@
+"""Ablation bench: per-sample minimal evasion budget, undefended vs defended.
+
+This extends the paper's aggregate security curves with a per-sample view:
+how many added API features does JSMA need to evade (a) the undefended
+detector and (b) the adversarially-trained detector?  The paper's headline
+"modifying one bit in the feature vector can bypass the detector" shows up as
+the lower tail of the undefended distribution.
+"""
+
+from conftest import run_once, save_rendering
+
+from repro.defenses.adversarial_training import AdversarialTrainingDefense
+from repro.evaluation.reports import format_table
+from repro.evaluation.robustness import compare_robustness
+
+
+def test_bench_robustness_minimal_budget(benchmark, bench_context, results_dir):
+    context = bench_context
+    advex = context.greybox_adversarial(theta=0.1, gamma=0.02)
+
+    def evaluate():
+        defense = AdversarialTrainingDefense(scale=context.scale, random_state=17)
+        defended = defense.fit(context.corpus.train, context.corpus.test, advex,
+                               validation=context.corpus.validation)
+        models = {
+            "undefended target": context.target_model.network,
+            "adversarially trained": defense.model.network,
+        }
+        return compare_robustness(models, context.attack_malware.features,
+                                  theta=0.1, max_features=30)
+
+    rows = run_once(benchmark, evaluate)
+    table_rows = [[row["model"], row["evadable_fraction"], row["median_budget"],
+                   row["evadable_with_1_feature"], row["evadable_with_2_features"]]
+                  for row in rows]
+    rendered = format_table(
+        ["model", "evadable <=30 feats", "median budget", "<=1 feat", "<=2 feats"],
+        table_rows, title="Ablation — minimal evasion budget (theta=0.1)")
+    save_rendering(results_dir, "ablation_robustness_budget", rendered)
+    print("\n" + rendered)
+
+    undefended, defended = rows[0], rows[1]
+    # the undefended detector is evadable for most samples within 30 features
+    assert undefended["evadable_fraction"] > 0.6
+    # Note: this is an *adaptive white-box* attacker re-optimising against the
+    # defended model, the setting the paper's conclusion flags as an open
+    # challenge — adversarial training is not expected to reduce the evadable
+    # fraction here (it defends against *transferred* examples, Table VI).
+    assert defended["evadable_fraction"] <= undefended["evadable_fraction"] + 0.05

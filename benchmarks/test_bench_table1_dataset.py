@@ -1,0 +1,15 @@
+"""Bench: regenerate Table I (dataset composition)."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1_dataset(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("table1", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "table1_dataset", rendered)
+    print("\n" + rendered)
+    assert result.class_balance_preserved()
+    assert result.measured["train"]["total"] == bench_context.scale.train_total
+    assert result.measured["test"]["total"] == bench_context.scale.test_total

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table II (excerpt of a sandbox log file)."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table2_logs(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("table2", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "table2_logs", rendered)
+    print("\n" + rendered)
+    assert result.round_trips()
+    assert len(result.excerpt_lines) == 10

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table III (excerpt of the 491 API features)."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table3_features(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("table3", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "table3_features", rendered)
+    print("\n" + rendered)
+    assert result.matches_paper()
+    assert result.n_features == 491

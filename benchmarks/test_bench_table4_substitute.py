@@ -1,0 +1,14 @@
+"""Bench: regenerate Table IV (substitute model architecture and training)."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table4_substitute(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("table4", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "table4_substitute", rendered)
+    print("\n" + rendered)
+    assert result.depth_matches()
+    assert result.final_train_accuracy > 0.9

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table V (adversarial-training dataset composition)."""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table5_advtraining(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, lambda: run_experiment("table5", bench_context))
+    rendered = result.render()
+    save_rendering(results_dir, "table5_advtraining", rendered)
+    print("\n" + rendered)
+    assert result.adversarial_examples_included()
+    assert result.training_set_is_balanced()
+    # the augmented training set is larger than the original one
+    assert result.data.train.n_samples > bench_context.corpus.train.n_samples

@@ -1,0 +1,36 @@
+"""Bench: regenerate Table VI (defense testing results).
+
+Qualitative checks mirror Section III-C:
+
+* without a defense most grey-box adversarial examples evade the detector;
+* adversarial training recovers adversarial detection without sacrificing
+  the clean TNR or the original-malware TPR;
+* the PCA dimensionality-reduction defense also recovers adversarial
+  detection (in the paper at the cost of clean accuracy).
+"""
+
+from conftest import run_once, save_rendering
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table6_defense(benchmark, bench_context, results_dir):
+    result = run_once(benchmark,
+                      lambda: run_experiment("table6", bench_context,
+                                             include_ensemble=True))
+    rendered = result.render()
+    save_rendering(results_dir, "table6_defense", rendered)
+    print("\n" + rendered)
+
+    # no defense: the attack works
+    assert result.rate("no_defense", "advex_test", "tpr") < 0.5
+    # adversarial training: the paper's headline defense result
+    assert result.adversarial_training_recovers_detection(margin=0.2)
+    assert result.adversarial_training_preserves_clean(tolerance=0.05)
+    assert result.rate("adversarial_training", "malware_test", "tpr") > 0.6
+    # dimensionality reduction recovers adversarial detection
+    assert (result.rate("dim_reduction", "advex_test", "tpr")
+            > result.rate("no_defense", "advex_test", "tpr"))
+    # feature squeezing flags more adversarial examples than the bare model
+    assert (result.rate("feature_squeezing", "advex_test", "tpr")
+            >= result.rate("no_defense", "advex_test", "tpr"))

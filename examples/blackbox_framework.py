@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Figure 2 black-box framework, end to end.
+
+The paper proposes (as future work) a real-world black-box attack: the
+attacker can only query the deployed detector for verdicts.  This example
+runs the full pipeline the framework describes:
+
+1. the attacker assembles a small seed set of samples,
+2. queries the deployed engine (a label-only oracle with a query budget),
+3. trains a substitute on the oracle's labels, augmenting the data with
+   Jacobian-based synthetic queries,
+4. crafts JSMA adversarial examples on the substitute,
+5. replays them against the deployed engine and measures the transfer rate.
+
+Run:  python examples/blackbox_framework.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import BlackBoxFramework, ExperimentContext, LabelOracle, PerturbationConstraints, get_profile
+
+
+def main() -> None:
+    scale = get_profile(os.environ.get("REPRO_SCALE", "tiny"))
+    context = ExperimentContext(scale=scale, seed=47)
+    target = context.target_model
+    malware = context.attack_malware
+
+    print(f"== deployed engine: 4-layer DNN, baseline detection "
+          f"{target.detection_rate(malware.features):.3f} "
+          f"on {malware.n_samples} malware samples")
+
+    oracle = LabelOracle(target, query_budget=50_000)
+    framework = BlackBoxFramework(
+        oracle,
+        scale=scale,
+        augmentation_rounds=2,
+        augmentation_step=0.1,
+        constraints=PerturbationConstraints(theta=0.1, gamma=0.025),
+        random_state=3,
+    )
+
+    seed_set = context.corpus.validation
+    print(f"== attacker seed set: {seed_set.n_samples} unlabeled samples "
+          "(labels obtained by querying the engine)")
+    report = framework.execute(seed_set.features, malware.features)
+
+    print(f"   oracle queries used               : {report.oracle_queries}")
+    print(f"   substitute/oracle label agreement : {report.substitute_agreement:.3f}")
+    print(f"   target detection on black-box advEx: "
+          f"{report.transfer.target_detection_rate:.3f}")
+    print(f"   transfer rate                      : {report.transfer.transfer_rate:.3f}")
+    print(f"   mean added API features            : "
+          f"{report.transfer.attack_result.mean_perturbed_features:.1f}")
+
+
+if __name__ == "__main__":
+    main()

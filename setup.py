@@ -1,0 +1,7 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 660 editable
+support (the offline evaluation image has setuptools without the ``wheel``
+package).  All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

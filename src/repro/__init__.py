@@ -1,0 +1,79 @@
+"""repro — reproduction of "Malware Evasion Attack and Defense" (DSN 2019).
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn` — a from-scratch numpy neural-network substrate,
+* :mod:`repro.apilog` — a synthetic API-call-log sandbox (the data substrate),
+* :mod:`repro.features` — the 491-feature extraction/transformation pipeline,
+* :mod:`repro.data` — dataset containers and the Table I corpus generator,
+* :mod:`repro.models` — the target DNN and the attacker's substitutes,
+* :mod:`repro.attacks` — JSMA / FGSM / random-noise attacks, the grey-box
+  transfer harness, the black-box framework and the live source-modification
+  attack (the paper's core contribution),
+* :mod:`repro.defenses` — adversarial training, defensive distillation,
+  feature squeezing, PCA dimensionality reduction and their ensemble,
+* :mod:`repro.evaluation` — security curves, L2 analysis and table rendering,
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import ExperimentContext, run_experiment
+
+    context = ExperimentContext()          # scale from $REPRO_SCALE (default "small")
+    figure3 = run_experiment("figure3", context)
+    print(figure3.render())
+"""
+
+from repro.attacks import (
+    Attack,
+    AttackResult,
+    BlackBoxFramework,
+    FgsmAttack,
+    JsmaAttack,
+    LiveGreyBoxAttack,
+    PerturbationConstraints,
+    RandomAdditionAttack,
+    TransferAttack,
+)
+from repro.config import (
+    CLASS_CLEAN,
+    CLASS_MALWARE,
+    N_FEATURES,
+    PROFILES,
+    ScaleProfile,
+    default_profile,
+    get_profile,
+)
+from repro.data import CorpusGenerator, Dataset, LabelOracle
+from repro.defenses import (
+    AdversarialTrainingDefense,
+    DefensiveDistillation,
+    DimensionalityReductionDefense,
+    EnsembleDefense,
+    FeatureSqueezingDefense,
+    PCA,
+)
+from repro.experiments import ExperimentContext, available_experiments, run_experiment
+from repro.features import FeaturePipeline
+from repro.models import SubstituteModel, TargetModel
+from repro.nn import NeuralNetwork
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ScaleProfile", "get_profile", "default_profile", "PROFILES",
+    "N_FEATURES", "CLASS_CLEAN", "CLASS_MALWARE",
+    # substrates
+    "NeuralNetwork", "FeaturePipeline", "Dataset", "CorpusGenerator", "LabelOracle",
+    # models
+    "TargetModel", "SubstituteModel",
+    # attacks
+    "Attack", "AttackResult", "PerturbationConstraints", "JsmaAttack", "FgsmAttack",
+    "RandomAdditionAttack", "TransferAttack", "BlackBoxFramework", "LiveGreyBoxAttack",
+    # defenses
+    "AdversarialTrainingDefense", "DefensiveDistillation", "FeatureSqueezingDefense",
+    "DimensionalityReductionDefense", "EnsembleDefense", "PCA",
+    # experiments
+    "ExperimentContext", "run_experiment", "available_experiments",
+]

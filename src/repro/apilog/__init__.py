@@ -1,0 +1,48 @@
+"""Synthetic API-call-log substrate.
+
+The paper's detector consumes 491 API-call-count features extracted from
+sandbox logs of Windows PE samples (Section II-A, Tables II and III).  The
+corpus itself is proprietary (McAfee Labs + VirusTotal), so this package
+builds the closest synthetic equivalent that exercises the same code paths:
+
+* :mod:`api_catalog` — the canonical, alphabetically ordered catalog of the
+  491 monitored API names, aligned so that indices 475-484 reproduce the
+  Table III excerpt exactly;
+* :mod:`log_format` — the log-line record format of Table II
+  (``GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"``), a parser and
+  a renderer;
+* :mod:`behavior_profiles` — parametric behaviour profiles (clean software
+  families and malware families) describing which APIs a sample calls and
+  how often;
+* :mod:`source_sample` — an explicit "source program" representation whose
+  API calls can be edited, which is what the live grey-box experiment of
+  Section III-B mutates;
+* :mod:`sandbox` — a simulated multi-OS (Win7/WinXP/Win8/Win10) sandbox that
+  executes a source sample and emits an API log, adding the OS-specific
+  runtime preamble that creates the "mixed data" of the paper.
+"""
+
+from repro.apilog.api_catalog import ApiCatalog, build_catalog
+from repro.apilog.behavior_profiles import (
+    BehaviorProfile,
+    ProfileLibrary,
+    default_profile_library,
+)
+from repro.apilog.log_format import ApiLog, LogRecord, format_line, parse_line
+from repro.apilog.sandbox import Sandbox, SandboxRun
+from repro.apilog.source_sample import SourceSample
+
+__all__ = [
+    "ApiCatalog",
+    "build_catalog",
+    "LogRecord",
+    "ApiLog",
+    "format_line",
+    "parse_line",
+    "BehaviorProfile",
+    "ProfileLibrary",
+    "default_profile_library",
+    "SourceSample",
+    "Sandbox",
+    "SandboxRun",
+]

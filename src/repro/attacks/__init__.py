@@ -1,0 +1,42 @@
+"""Evasion attacks (the paper's core contribution).
+
+* :mod:`constraints` — the add-only / box / budget constraint set every
+  attack respects (API calls can be added, never removed; features stay in
+  ``[0, 1]``; at most ``gamma * 491`` features may change, each by ``theta``);
+* :mod:`jsma` — the Jacobian-based Saliency Map Attack used for the
+  white-box and grey-box experiments;
+* :mod:`fgsm` — Fast Gradient Sign Method (related-work attack, used for the
+  cross-attack ablation of adversarial training);
+* :mod:`random_noise` — the random-API-addition baseline the paper uses to
+  show JSMA perturbations are not just noise;
+* :mod:`transfer` — the grey-box transfer harness (craft on the substitute,
+  replay on the target);
+* :mod:`blackbox` — the Figure 2 black-box framework: oracle-labelled
+  substitute training with Jacobian-based data augmentation;
+* :mod:`live_greybox` — the Section III-B live experiment: add one API call
+  to the malware *source* repeatedly and watch the engine's confidence.
+"""
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.blackbox import BlackBoxAttackReport, BlackBoxFramework
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.fgsm import FgsmAttack
+from repro.attacks.jsma import JsmaAttack
+from repro.attacks.live_greybox import LiveGreyBoxAttack, LiveGreyBoxTrace
+from repro.attacks.random_noise import RandomAdditionAttack
+from repro.attacks.transfer import TransferAttack, TransferResult
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "PerturbationConstraints",
+    "JsmaAttack",
+    "FgsmAttack",
+    "RandomAdditionAttack",
+    "TransferAttack",
+    "TransferResult",
+    "BlackBoxFramework",
+    "BlackBoxAttackReport",
+    "LiveGreyBoxAttack",
+    "LiveGreyBoxTrace",
+]

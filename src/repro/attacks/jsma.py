@@ -1,0 +1,179 @@
+"""The Jacobian-based Saliency Map Attack (JSMA), add-only variant.
+
+This is the attack the paper uses for every experiment (Section II-B-1).
+Following Papernot et al. (2016) and the paper's adaptation to API-count
+features:
+
+1. compute the Jacobian of the softmax output with respect to the input
+   (Equation 1 of the paper);
+2. build the saliency map for moving the sample towards the *clean* class
+   (class 0): a feature is salient when increasing it increases the clean
+   probability and decreases the malware probability;
+3. perturb the most salient modifiable feature by ``theta`` (adding API
+   calls only — existing features are never reduced);
+4. repeat until the crafting model classifies the sample as clean or the
+   ``gamma`` feature budget is exhausted.
+
+The implementation is batched: each iteration evaluates the Jacobian only on
+the samples that are still detected and still have budget left.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.constraints import PerturbationConstraints
+from repro.config import CLASS_CLEAN, CLASS_MALWARE
+from repro.exceptions import AttackError
+from repro.nn.network import NeuralNetwork
+from repro.utils.validation import check_matrix
+
+
+class JsmaAttack(Attack):
+    """Add-only JSMA targeting the clean class.
+
+    Parameters
+    ----------
+    network:
+        The crafting model (white-box: the target itself; grey-box: the
+        attacker's substitute).
+    constraints:
+        The θ/γ budget and threat-model constraints.
+    target_class:
+        Class the adversarial example should be assigned to (0 = clean).
+    use_saliency_map:
+        When True (default) features are ranked by the full two-class
+        saliency map; when False they are ranked by the raw positive gradient
+        of the target class, which is the simplification described in the
+        paper ("a perturbation of X with maximal positive gradient into the
+        target class 0 is chosen").  Both satisfy the same constraints.
+    early_stop:
+        Stop perturbing a sample as soon as the crafting model classifies it
+        as the target class.  Disabling this always spends the full budget,
+        which is useful when studying transferability.
+    """
+
+    name = "jsma"
+
+    def __init__(self, network: NeuralNetwork,
+                 constraints: Optional[PerturbationConstraints] = None,
+                 target_class: int = CLASS_CLEAN,
+                 use_saliency_map: bool = True,
+                 early_stop: bool = True) -> None:
+        super().__init__(network, constraints)
+        if target_class not in (0, 1):
+            raise AttackError(f"target_class must be 0 or 1, got {target_class}")
+        self.target_class = int(target_class)
+        self.use_saliency_map = bool(use_saliency_map)
+        self.early_stop = bool(early_stop)
+
+    # ------------------------------------------------------------------ #
+    # Saliency computation
+    # ------------------------------------------------------------------ #
+    def _feature_scores(self, jacobian: np.ndarray) -> np.ndarray:
+        """Score every feature of every sample for a single perturbation step.
+
+        ``jacobian`` has shape ``(n, n_classes, d)``.  Higher scores mean
+        "adding to this feature moves the sample towards the target class
+        more".  Infeasible features are later masked to ``-inf``.
+        """
+        target_grad = jacobian[:, self.target_class, :]
+        other_grad = jacobian.sum(axis=1) - target_grad
+        if not self.use_saliency_map:
+            return target_grad
+        # Papernot-style saliency for increase-only perturbations:
+        # salient iff dF_target/dx_j > 0 and sum_{i != target} dF_i/dx_j < 0.
+        salient = (target_grad > 0) & (other_grad < 0)
+        scores = np.where(salient, target_grad * np.abs(other_grad), -np.inf)
+        # Fallback: when no feature is strictly salient for a sample, fall
+        # back to the raw target-class gradient so the attack can still make
+        # progress (matches CleverHans behaviour of relaxing the map).
+        no_salient = ~salient.any(axis=1)
+        if np.any(no_salient):
+            scores[no_salient] = target_grad[no_salient]
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Attack loop
+    # ------------------------------------------------------------------ #
+    def run(self, features: np.ndarray) -> AttackResult:
+        original = check_matrix(features, name="features",
+                                n_features=self.network.input_dim)
+        adversarial = original.copy()
+        n_samples, n_features = original.shape
+        constraints = self.constraints
+        budget = constraints.max_features(n_features)
+        modifiable = constraints.modifiable_mask(n_features)
+        iterations = np.zeros(n_samples, dtype=np.int64)
+
+        if budget == 0 or constraints.theta == 0.0:
+            return self._package(original, adversarial, iterations)
+
+        # Per-sample bookkeeping of which features have been touched.
+        touched = np.zeros((n_samples, n_features), dtype=bool)
+        active = np.ones(n_samples, dtype=bool)
+        if self.early_stop:
+            active &= self.network.predict(adversarial) != self.target_class
+
+        for _ in range(budget):
+            if not np.any(active):
+                break
+            idx = np.flatnonzero(active)
+            jacobian = self.network.class_gradients(adversarial[idx])
+            scores = self._feature_scores(jacobian)
+
+            # Features that cannot be perturbed: outside the mask, already
+            # saturated at the box maximum, or (per the budget semantics)
+            # already used for this sample.
+            saturated = adversarial[idx] >= constraints.clip_max - 1e-12
+            infeasible = (~modifiable)[None, :] | saturated | touched[idx]
+            scores = np.where(infeasible, -np.inf, scores)
+
+            best = np.argmax(scores, axis=1)
+            best_scores = scores[np.arange(idx.size), best]
+            feasible = np.isfinite(best_scores)
+            if not np.any(feasible):
+                break
+
+            rows = idx[feasible]
+            cols = best[feasible]
+            adversarial[rows, cols] = np.minimum(
+                adversarial[rows, cols] + constraints.theta, constraints.clip_max)
+            touched[rows, cols] = True
+            iterations[rows] += 1
+
+            # Samples with no feasible feature left stop here.
+            active[idx[~feasible]] = False
+            if self.early_stop:
+                predictions = self.network.predict(adversarial[rows])
+                evaded = predictions == self.target_class
+                active[rows[evaded]] = False
+
+        # Safety: the loop construction already satisfies the constraints,
+        # but project anyway so the invariant holds even under future edits.
+        adversarial = constraints.project(adversarial, original)
+        return self._package(original, adversarial, iterations)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by Figure 1 and the live experiment
+    # ------------------------------------------------------------------ #
+    def select_features(self, features: np.ndarray, top_k: int = 2) -> np.ndarray:
+        """Return the indices of the ``top_k`` most salient features per sample.
+
+        This exposes the feature-selection half of JSMA without applying the
+        perturbation; Figure 1 ("adding two API calls") and the live grey-box
+        attack use it to decide *which* API calls to add to the source.
+        """
+        matrix = check_matrix(features, name="features",
+                              n_features=self.network.input_dim)
+        if top_k < 1:
+            raise AttackError(f"top_k must be >= 1, got {top_k}")
+        jacobian = self.network.class_gradients(matrix)
+        scores = self._feature_scores(jacobian)
+        modifiable = self.constraints.modifiable_mask(matrix.shape[1])
+        scores = np.where(modifiable[None, :], scores, -np.inf)
+        order = np.argsort(-scores, axis=1)
+        return order[:, :top_k]

@@ -1,0 +1,54 @@
+"""Random API-addition baseline.
+
+Section III-A notes that "randomly adding features does not decrease the
+detection rates" — the control showing JSMA perturbations are structured,
+not noise.  :class:`RandomAdditionAttack` adds ``theta`` to ``gamma * d``
+uniformly chosen modifiable features, respecting the same add-only and box
+constraints as JSMA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.constraints import PerturbationConstraints
+from repro.nn.network import NeuralNetwork
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_matrix
+
+
+class RandomAdditionAttack(Attack):
+    """Add θ to γ·d randomly selected features (the paper's noise control)."""
+
+    name = "random_addition"
+
+    def __init__(self, network: NeuralNetwork,
+                 constraints: Optional[PerturbationConstraints] = None,
+                 random_state: RandomState = None) -> None:
+        super().__init__(network, constraints)
+        self._rng = as_rng(random_state)
+
+    def run(self, features: np.ndarray) -> AttackResult:
+        original = check_matrix(features, name="features",
+                                n_features=self.network.input_dim)
+        adversarial = original.copy()
+        n_samples, n_features = original.shape
+        budget = self.constraints.max_features(n_features)
+        modifiable = np.flatnonzero(self.constraints.modifiable_mask(n_features))
+        iterations = np.zeros(n_samples, dtype=np.int64)
+
+        if budget == 0 or self.constraints.theta == 0.0 or modifiable.size == 0:
+            return self._package(original, adversarial, iterations)
+
+        k = min(budget, modifiable.size)
+        for row in range(n_samples):
+            chosen = self._rng.choice(modifiable, size=k, replace=False)
+            adversarial[row, chosen] = np.minimum(
+                adversarial[row, chosen] + self.constraints.theta,
+                self.constraints.clip_max)
+            iterations[row] = k
+        adversarial = self.constraints.project(adversarial, original)
+        return self._package(original, adversarial, iterations)

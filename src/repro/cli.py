@@ -1,0 +1,90 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage examples::
+
+    repro-experiments list
+    repro-experiments run figure3 --scale small --seed 7
+    repro-experiments run table6 --scale tiny --out results/
+    repro-experiments run-all --scale tiny
+
+``run`` prints the experiment's rendered table/figure to stdout and (with
+``--out``) also writes it to ``<out>/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.config import PROFILES, get_profile
+from repro.experiments import ExperimentContext, available_experiments
+from repro.experiments.registry import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-experiments`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Malware Evasion "
+                    "Attack and Defense' (DSN 2019) on the synthetic substrate.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", choices=sorted(PROFILES), default="small",
+                         help="scale profile (default: small)")
+        sub.add_argument("--seed", type=int, default=0,
+                         help="master seed for the experiment context")
+        sub.add_argument("--out", type=Path, default=None,
+                         help="directory to write rendered outputs into")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=available_experiments(),
+                            help="experiment id (table1..table6, figure1..figure5, live_greybox)")
+    add_common(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    add_common(run_all_parser)
+    return parser
+
+
+def _emit(name: str, rendered: str, out_dir: Optional[Path]) -> None:
+    print(rendered)
+    print()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in available_experiments():
+            spec = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:<14} {spec.title}  [{spec.paper_section}]")
+        return 0
+
+    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed)
+    if args.command == "run":
+        result = EXPERIMENTS[args.experiment].runner(context)
+        _emit(args.experiment, result.render(), args.out)
+        return 0
+
+    if args.command == "run-all":
+        for experiment_id in available_experiments():
+            print(f"== {experiment_id}: {EXPERIMENTS[experiment_id].title}")
+            result = EXPERIMENTS[experiment_id].runner(context)
+            _emit(experiment_id, result.render(), args.out)
+        return 0
+
+    return 2  # unreachable given required=True
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation path
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Dataset containers and the synthetic corpus generator.
+
+Reproduces the structure of Table I: a training set and validation set drawn
+from the "McAfee Labs" synthetic source distribution, and an independent
+test set drawn from a shifted "VirusTotal-like" distribution (different
+family mixture, including families absent from training, and a different OS
+mixture).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.generator import CorpusBundle, CorpusGenerator
+from repro.data.oracle import LabelOracle
+from repro.data.splits import stratified_split, train_validation_split
+
+__all__ = [
+    "Dataset",
+    "CorpusGenerator",
+    "CorpusBundle",
+    "LabelOracle",
+    "stratified_split",
+    "train_validation_split",
+]

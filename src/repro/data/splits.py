@@ -1,0 +1,56 @@
+"""Stratified splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DatasetError
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_fraction
+
+
+def stratified_split(dataset: Dataset, first_fraction: float,
+                     random_state: RandomState = None,
+                     names: Tuple[str, str] = ("first", "second")) -> Tuple[Dataset, Dataset]:
+    """Split ``dataset`` into two parts preserving the class balance.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    first_fraction:
+        Fraction of each class assigned to the first part (exclusive of 0/1).
+    random_state:
+        Seed controlling the shuffle within each class.
+    names:
+        Names given to the two resulting datasets.
+    """
+    fraction = check_fraction(first_fraction, "first_fraction",
+                              inclusive_low=False, inclusive_high=False)
+    rng = as_rng(random_state)
+    first_indices = []
+    second_indices = []
+    for label in np.unique(dataset.labels):
+        label_idx = np.flatnonzero(dataset.labels == label)
+        rng.shuffle(label_idx)
+        cut = int(round(fraction * label_idx.size))
+        cut = min(max(cut, 1), label_idx.size - 1) if label_idx.size > 1 else label_idx.size
+        first_indices.append(label_idx[:cut])
+        second_indices.append(label_idx[cut:])
+    first = np.sort(np.concatenate(first_indices))
+    second = np.sort(np.concatenate(second_indices))
+    if first.size == 0 or second.size == 0:
+        raise DatasetError("stratified_split produced an empty part; adjust first_fraction")
+    return dataset.subset(first, name=names[0]), dataset.subset(second, name=names[1])
+
+
+def train_validation_split(dataset: Dataset, validation_fraction: float = 0.1,
+                           random_state: RandomState = None) -> Tuple[Dataset, Dataset]:
+    """Carve a validation set out of a training dataset (stratified)."""
+    train, val = stratified_split(dataset, 1.0 - validation_fraction,
+                                  random_state=random_state,
+                                  names=("train", "validation"))
+    return train, val

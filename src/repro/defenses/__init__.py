@@ -1,0 +1,50 @@
+"""Defenses against the evasion attack (Section II-C).
+
+Four defenses from the paper plus the ensemble it suggests considering:
+
+* :mod:`adversarial_training` — retrain the detector with adversarial
+  examples mixed into the training set (Table V / Table VI "AdvTraining");
+* :mod:`distillation` — defensive distillation with softmax temperature
+  ``T = 50`` (Table VI "Distillation");
+* :mod:`feature_squeezing` — detect adversarial inputs by comparing the
+  model's prediction on the original and on a squeezed copy of the input
+  (L1 distance over a threshold ⇒ adversarial; Table VI "FeaSqueezing");
+* :mod:`dim_reduction` — train the detector on the first ``k`` principal
+  components (``k = 19``; Table VI "DimReduct"), built on the from-scratch
+  :mod:`pca` implementation;
+* :mod:`ensemble` — the adversarial-training + dimensionality-reduction
+  combination the paper's discussion proposes.
+
+Every defense produces a :class:`~repro.defenses.base.DefendedDetector`,
+which exposes the same prediction surface as the undefended model so the
+Table VI evaluation code treats them uniformly.
+"""
+
+from repro.defenses.adversarial_training import AdversarialTrainingDefense
+from repro.defenses.base import DefendedDetector, Defense
+from repro.defenses.dim_reduction import DimensionalityReductionDefense
+from repro.defenses.distillation import DefensiveDistillation
+from repro.defenses.ensemble import EnsembleDefense
+from repro.defenses.feature_squeezing import (
+    FeatureSqueezingDefense,
+    SqueezedDetector,
+    binary_squeeze,
+    bit_depth_squeeze,
+    small_count_squeeze,
+)
+from repro.defenses.pca import PCA
+
+__all__ = [
+    "Defense",
+    "DefendedDetector",
+    "AdversarialTrainingDefense",
+    "DefensiveDistillation",
+    "FeatureSqueezingDefense",
+    "SqueezedDetector",
+    "bit_depth_squeeze",
+    "binary_squeeze",
+    "small_count_squeeze",
+    "DimensionalityReductionDefense",
+    "EnsembleDefense",
+    "PCA",
+]

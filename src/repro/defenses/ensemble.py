@@ -1,0 +1,75 @@
+"""Ensemble defense.
+
+The paper's discussion of Table VI suggests "we may consider ensemble
+adversarial training and dimension reduction": adversarial training recovers
+adversarial detection without hurting the clean rate, while the PCA defense
+recovers both malware rates at the cost of clean accuracy.  This module
+implements that combination (and, generally, any combination of defended
+detectors) with two voting rules:
+
+* ``"average"`` — average the members' malware confidences and threshold at
+  0.5 (soft voting);
+* ``"any"`` — flag malware when any member flags malware (maximally
+  conservative, highest TPR / lowest TNR).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.config import CLASS_CLEAN, CLASS_MALWARE
+from repro.defenses.base import DefendedDetector, Defense
+from repro.exceptions import DefenseError
+from repro.utils.validation import check_matrix
+
+
+class EnsembleDetector(DefendedDetector):
+    """Combine several defended detectors into one decision."""
+
+    def __init__(self, members: Sequence[DefendedDetector], voting: str = "average",
+                 name: str = "ensemble") -> None:
+        super().__init__(name)
+        if not members:
+            raise DefenseError("an ensemble needs at least one member")
+        if voting not in ("average", "any", "majority"):
+            raise DefenseError(f"unknown voting rule {voting!r}")
+        self.members: List[DefendedDetector] = list(members)
+        self.voting = voting
+
+    def malware_confidence(self, features: np.ndarray) -> np.ndarray:
+        features = check_matrix(features, name="features")
+        confidences = np.stack([member.malware_confidence(features)
+                                for member in self.members], axis=0)
+        if self.voting == "any":
+            return confidences.max(axis=0)
+        if self.voting == "majority":
+            votes = (confidences >= 0.5).mean(axis=0)
+            return votes
+        return confidences.mean(axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        features = check_matrix(features, name="features")
+        if self.voting == "any":
+            predictions = np.stack([member.predict(features) for member in self.members],
+                                   axis=0)
+            return np.where(predictions.max(axis=0) == CLASS_MALWARE,
+                            CLASS_MALWARE, CLASS_CLEAN)
+        return np.where(self.malware_confidence(features) >= 0.5,
+                        CLASS_MALWARE, CLASS_CLEAN)
+
+
+class EnsembleDefense(Defense):
+    """Build an :class:`EnsembleDetector` from already-fitted defenses."""
+
+    name = "ensemble"
+
+    def __init__(self, voting: str = "average") -> None:
+        super().__init__()
+        self.voting = voting
+
+    def fit(self, members: Sequence[DefendedDetector]) -> EnsembleDetector:
+        """Combine ``members`` (already-fitted defended detectors)."""
+        return self._finalize(EnsembleDetector(members, voting=self.voting,
+                                               name=self.name))

@@ -1,0 +1,156 @@
+"""Principal Component Analysis implemented from scratch (via SVD).
+
+Used by the dimensionality-reduction defense (Section II-C-4): instead of
+training the classifier on the full 491-dimensional input, the defender
+projects onto the first ``k`` principal components (the paper selects
+``k = 19``) and trains on the reduced representation, restricting the
+attacker to perturbations that survive the projection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.serialization import load_bundle, save_bundle
+from repro.utils.validation import check_matrix
+
+
+class PCA:
+    """Principal component analysis with a scikit-learn-like interface.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components ``k`` to keep (must not exceed the feature
+        dimension or the number of training samples).
+    whiten:
+        Whether to scale projected components to unit variance.
+    """
+
+    def __init__(self, n_components: int, whiten: bool = False) -> None:
+        if n_components < 1:
+            raise ConfigurationError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = int(n_components)
+        self.whiten = bool(whiten)
+        self._mean: Optional[np.ndarray] = None
+        self._components: Optional[np.ndarray] = None
+        self._explained_variance: Optional[np.ndarray] = None
+        self._total_variance: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._components is not None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        """Learn the principal components of ``x`` (rows are samples)."""
+        x = check_matrix(x, name="X")
+        n_samples, n_features = x.shape
+        max_components = min(n_samples, n_features)
+        if self.n_components > max_components:
+            raise ConfigurationError(
+                f"n_components={self.n_components} exceeds min(n_samples, n_features)="
+                f"{max_components}"
+            )
+        self._mean = x.mean(axis=0)
+        centered = x - self._mean
+        # Economy SVD: centered = U @ diag(s) @ Vt, components are rows of Vt.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        explained = (singular_values ** 2) / max(n_samples - 1, 1)
+        self._components = vt[: self.n_components]
+        self._explained_variance = explained[: self.n_components]
+        self._total_variance = float(explained.sum())
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Projection
+    # ------------------------------------------------------------------ #
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError("PCA must be fitted before use")
+
+    @property
+    def components_(self) -> np.ndarray:
+        """The ``(n_components, n_features)`` principal axes."""
+        self._require_fitted()
+        return self._components
+
+    @property
+    def mean_(self) -> np.ndarray:
+        """Per-feature training mean subtracted before projection."""
+        self._require_fitted()
+        return self._mean
+
+    @property
+    def explained_variance_(self) -> np.ndarray:
+        """Variance captured by each kept component."""
+        self._require_fitted()
+        return self._explained_variance
+
+    @property
+    def explained_variance_ratio_(self) -> np.ndarray:
+        """Fraction of total variance captured by each kept component."""
+        self._require_fitted()
+        if self._total_variance == 0:
+            return np.zeros_like(self._explained_variance)
+        return self._explained_variance / self._total_variance
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project ``x`` onto the kept components → ``(n, k)``."""
+        self._require_fitted()
+        x = check_matrix(x, name="X", n_features=self._mean.shape[0])
+        projected = (x - self._mean) @ self._components.T
+        if self.whiten:
+            projected = projected / np.sqrt(self._explained_variance + 1e-12)
+        return projected
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return its projection."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back to the original feature space."""
+        self._require_fitted()
+        projected = check_matrix(projected, name="projected",
+                                 n_features=self.n_components)
+        if self.whiten:
+            projected = projected * np.sqrt(self._explained_variance + 1e-12)
+        return projected @ self._components + self._mean
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample L2 reconstruction error (useful as an anomaly score)."""
+        reconstructed = self.inverse_transform(self.transform(x))
+        return np.linalg.norm(check_matrix(x) - reconstructed, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Persist the fitted projection."""
+        self._require_fitted()
+        meta = {"n_components": self.n_components, "whiten": self.whiten}
+        arrays = {
+            "mean": self._mean,
+            "components": self._components,
+            "explained_variance": self._explained_variance,
+            "total_variance": np.asarray([self._total_variance]),
+        }
+        return save_bundle(path, meta, arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PCA":
+        """Restore a PCA saved with :meth:`save`."""
+        meta, arrays = load_bundle(path)
+        pca = cls(n_components=meta["n_components"], whiten=meta["whiten"])
+        pca._mean = arrays["mean"]
+        pca._components = arrays["components"]
+        pca._explained_variance = arrays["explained_variance"]
+        pca._total_variance = float(arrays["total_variance"][0])
+        return pca

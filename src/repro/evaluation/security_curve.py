@@ -1,0 +1,162 @@
+"""Security evaluation curves: detection rate vs attack strength.
+
+Figures 3 and 4 of the paper plot the detection rate of a model (and, in the
+grey-box case, of both the substitute and the target) as the attack strength
+grows — either by increasing γ (more perturbed features, at fixed θ) or by
+increasing θ (larger per-feature perturbation, at fixed γ).  This module
+provides the sweep harness and the result containers those figures are
+rendered from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.attacks.constraints import PerturbationConstraints
+from repro.exceptions import AttackError
+from repro.nn.metrics import detection_rate
+from repro.nn.network import NeuralNetwork
+from repro.utils.validation import check_matrix
+
+#: The sweep grids used by the paper.
+PAPER_GAMMA_GRID = tuple(np.arange(0.0, 0.0301, 0.005))      # Figure 3(a)/4(a)
+PAPER_THETA_GRID = tuple(np.arange(0.0, 0.1501, 0.0125))     # Figure 3(b)/4(b)
+
+
+@dataclass
+class SecurityCurvePoint:
+    """One operating point of a security evaluation curve."""
+
+    theta: float
+    gamma: float
+    n_perturbed_features: int
+    detection_rates: Dict[str, float]
+    mean_l2_distance: float
+    evaded_counts: Dict[str, int] = field(default_factory=dict)
+    swept_parameter: str = "gamma"
+
+    @property
+    def strength(self) -> float:
+        """The varying parameter's value (γ for γ-sweeps, θ for θ-sweeps)."""
+        return self.gamma if self.swept_parameter == "gamma" else self.theta
+
+
+@dataclass
+class SecurityCurve:
+    """A full sweep: one point per attack-strength value."""
+
+    swept_parameter: str
+    fixed_value: float
+    points: List[SecurityCurvePoint] = field(default_factory=list)
+    attack_name: str = "jsma"
+
+    def strengths(self) -> List[float]:
+        """The x-axis values."""
+        return [point.strength for point in self.points]
+
+    def detection_rates(self, model_name: str) -> List[float]:
+        """The y-axis values for one model."""
+        return [point.detection_rates[model_name] for point in self.points]
+
+    def model_names(self) -> List[str]:
+        """Names of the models evaluated at every point."""
+        return sorted(self.points[0].detection_rates) if self.points else []
+
+    def minimum_detection_rate(self, model_name: str) -> float:
+        """The lowest detection rate reached over the sweep."""
+        rates = self.detection_rates(model_name)
+        if not rates:
+            raise AttackError("security curve has no points")
+        return float(min(rates))
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Tabular view: one dict per operating point."""
+        rows = []
+        for point in self.points:
+            row = {
+                "theta": point.theta,
+                "gamma": point.gamma,
+                "n_perturbed_features": float(point.n_perturbed_features),
+                "mean_l2_distance": point.mean_l2_distance,
+            }
+            for model_name, rate in point.detection_rates.items():
+                row[f"detection_rate[{model_name}]"] = rate
+            rows.append(row)
+        return rows
+
+
+AttackFactory = Callable[[PerturbationConstraints], Attack]
+
+
+def _sweep(attack_factory: AttackFactory, malware_features: np.ndarray,
+           models: Dict[str, NeuralNetwork], theta_values: Sequence[float],
+           gamma_values: Sequence[float], swept_parameter: str,
+           fixed_value: float, n_features: Optional[int] = None) -> SecurityCurve:
+    malware_features = check_matrix(malware_features, name="malware_features")
+    n_features = n_features if n_features is not None else malware_features.shape[1]
+    if not models:
+        raise AttackError("at least one model must be evaluated")
+    curve = SecurityCurve(swept_parameter=swept_parameter, fixed_value=fixed_value)
+    for theta, gamma in zip(theta_values, gamma_values):
+        constraints = PerturbationConstraints(theta=float(theta), gamma=float(gamma))
+        attack = attack_factory(constraints)
+        curve.attack_name = attack.name
+        result = attack.run(malware_features)
+        rates = {name: (detection_rate(model.predict(result.adversarial)))
+                 for name, model in models.items()}
+        evaded = {name: int(round((1.0 - rate) * result.n_samples))
+                  for name, rate in rates.items()}
+        curve.points.append(SecurityCurvePoint(
+            theta=float(theta),
+            gamma=float(gamma),
+            n_perturbed_features=constraints.max_features(n_features),
+            detection_rates=rates,
+            mean_l2_distance=result.mean_l2_distance,
+            evaded_counts=evaded,
+            swept_parameter=swept_parameter,
+        ))
+    return curve
+
+
+def gamma_sweep(attack_factory: AttackFactory, malware_features: np.ndarray,
+                models: Dict[str, NeuralNetwork], theta: float,
+                gamma_values: Sequence[float]) -> SecurityCurve:
+    """Sweep γ at fixed θ (Figures 3(a), 4(a), 4(c))."""
+    gamma_values = list(gamma_values)
+    return _sweep(attack_factory, malware_features, models,
+                  theta_values=[theta] * len(gamma_values),
+                  gamma_values=gamma_values,
+                  swept_parameter="gamma", fixed_value=theta)
+
+
+def theta_sweep(attack_factory: AttackFactory, malware_features: np.ndarray,
+                models: Dict[str, NeuralNetwork], gamma: float,
+                theta_values: Sequence[float]) -> SecurityCurve:
+    """Sweep θ at fixed γ (Figures 3(b), 4(b))."""
+    theta_values = list(theta_values)
+    return _sweep(attack_factory, malware_features, models,
+                  theta_values=theta_values,
+                  gamma_values=[gamma] * len(theta_values),
+                  swept_parameter="theta", fixed_value=gamma)
+
+
+def paper_gamma_grid(n_points: Optional[int] = None) -> List[float]:
+    """The Figure 3(a) γ grid (optionally subsampled to ``n_points``)."""
+    grid = list(PAPER_GAMMA_GRID)
+    if n_points is None or n_points >= len(grid):
+        return grid
+    indices = np.linspace(0, len(grid) - 1, n_points).round().astype(int)
+    return [grid[i] for i in indices]
+
+
+def paper_theta_grid(n_points: Optional[int] = None) -> List[float]:
+    """The Figure 3(b) θ grid (optionally subsampled to ``n_points``)."""
+    grid = list(PAPER_THETA_GRID)
+    if n_points is None or n_points >= len(grid):
+        return grid
+    indices = np.linspace(0, len(grid) - 1, n_points).round().astype(int)
+    return [grid[i] for i in indices]

@@ -1,0 +1,111 @@
+"""Cross-model transferability matrix.
+
+Section II-B-2 of the paper attributes the grey-box/black-box feasibility to
+the transferability of adversarial examples between models.  This module
+measures that property directly: for a set of models, craft JSMA adversarial
+examples on each one ("source") and evaluate the detection rate of every
+model ("victim") on them.  The diagonal is the white-box case; off-diagonal
+entries quantify transfer between model pairs (e.g. substitute → target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.evaluation.reports import format_table
+from repro.exceptions import AttackError
+from repro.nn.metrics import detection_rate
+from repro.nn.network import NeuralNetwork
+from repro.utils.validation import check_matrix
+
+
+@dataclass
+class TransferMatrix:
+    """Detection rates indexed by (crafting model, evaluating model)."""
+
+    model_names: List[str]
+    baseline_detection: Dict[str, float]
+    detection: Dict[str, Dict[str, float]]
+    constraints: PerturbationConstraints
+
+    def rate(self, source: str, victim: str) -> float:
+        """Victim's detection rate on examples crafted against ``source``."""
+        return self.detection[source][victim]
+
+    def transfer_rate(self, source: str, victim: str) -> float:
+        """1 - victim detection rate on examples crafted against ``source``."""
+        return 1.0 - self.rate(source, victim)
+
+    def whitebox_rate(self, model: str) -> float:
+        """The diagonal entry for ``model`` (attack crafted on itself)."""
+        return self.rate(model, model)
+
+    def transfer_is_weaker_than_whitebox(self, source: str, victim: str,
+                                         slack: float = 0.05) -> bool:
+        """Whether the transferred attack detects no worse than the victim's own white-box attack."""
+        return self.rate(source, victim) >= self.whitebox_rate(victim) - slack
+
+    def rows(self) -> List[List[object]]:
+        """One row per crafting model, one column per victim model."""
+        rows = []
+        for source in self.model_names:
+            row: List[object] = [source]
+            row.extend(self.detection[source][victim] for victim in self.model_names)
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering of the matrix (plus the no-attack baselines)."""
+        headers = ["crafted on \\ evaluated on"] + list(self.model_names)
+        table = format_table(headers, self.rows(),
+                             title=f"Transferability matrix "
+                                   f"(theta={self.constraints.theta}, "
+                                   f"gamma={self.constraints.gamma})")
+        baseline = ", ".join(f"{name}={rate:.3f}"
+                             for name, rate in self.baseline_detection.items())
+        return f"{table}\nno-attack baseline detection: {baseline}"
+
+
+def transfer_matrix(models: Mapping[str, NeuralNetwork], malware_features: np.ndarray,
+                    constraints: Optional[PerturbationConstraints] = None,
+                    early_stop: bool = False) -> TransferMatrix:
+    """Compute the full crafting-model × victim-model detection matrix.
+
+    Parameters
+    ----------
+    models:
+        Named models sharing one feature space (e.g. ``{"target": ...,
+        "substitute": ...}``).
+    malware_features:
+        Malware rows to attack.
+    constraints:
+        Attack budget (defaults to the paper's θ=0.1, γ=0.025).
+    early_stop:
+        Whether crafting stops once the *crafting* model is evaded; the
+        default (False) spends the full budget, which is the configuration
+        that transfers.
+    """
+    if len(models) < 1:
+        raise AttackError("transfer_matrix needs at least one model")
+    constraints = constraints if constraints is not None else PerturbationConstraints()
+    names = list(models)
+    first_dim = models[names[0]].input_dim
+    features = check_matrix(malware_features, name="malware_features", n_features=first_dim)
+
+    baseline = {name: detection_rate(model.predict(features))
+                for name, model in models.items()}
+    detection: Dict[str, Dict[str, float]] = {}
+    for source_name, source_model in models.items():
+        attack = JsmaAttack(source_model, constraints=constraints, early_stop=early_stop)
+        crafted = attack.run(features)
+        detection[source_name] = {
+            victim_name: detection_rate(victim_model.predict(crafted.adversarial))
+            for victim_name, victim_model in models.items()
+        }
+    return TransferMatrix(model_names=names, baseline_detection=baseline,
+                          detection=detection, constraints=constraints)

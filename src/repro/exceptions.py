@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from runtime/shape problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is inconsistent or out of range.
+
+    Examples: a negative dataset size, a JSMA ``gamma`` outside ``[0, 1]``,
+    a PCA component count larger than the feature dimension.
+    """
+
+
+class ShapeError(ReproError):
+    """Raised when an array has an unexpected shape or dimensionality."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model/transform is used before being fitted/trained."""
+
+
+class SerializationError(ReproError):
+    """Raised when persisting or restoring an object fails."""
+
+
+class AttackError(ReproError):
+    """Raised when an attack cannot be executed with the given inputs."""
+
+
+class DefenseError(ReproError):
+    """Raised when a defense cannot be constructed or applied."""
+
+
+class SandboxError(ReproError):
+    """Raised by the synthetic sandbox when a sample cannot be executed."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset construction and splitting utilities."""

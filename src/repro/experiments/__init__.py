@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+Every experiment consumes a shared :class:`~repro.experiments.context.ExperimentContext`
+(which lazily builds and caches the corpus, the target model and the
+substitute models so a full reproduction run trains each model exactly once)
+and returns a result object with ``rows()`` and ``render()`` methods that
+print the same quantities the paper reports.
+
+Use :func:`repro.experiments.registry.run_experiment` (or the registry's
+``EXPERIMENTS`` mapping) to execute them by id, e.g. ``figure3``.
+"""
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, available_experiments, run_experiment
+
+__all__ = [
+    "ExperimentContext",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+]

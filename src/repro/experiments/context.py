@@ -1,0 +1,175 @@
+"""Shared, lazily-built experiment state.
+
+Reproducing every table and figure requires the same expensive artifacts —
+the Table I corpus, the trained target model, the attacker's substitute
+models, and the grey-box adversarial examples used by the defense
+experiments.  :class:`ExperimentContext` builds each of them exactly once
+(on first use) so the full experiment suite and the benchmark harness do not
+retrain models per figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.config import CLASS_MALWARE, ScaleProfile, default_profile
+from repro.data.dataset import Dataset
+from repro.data.generator import CorpusBundle, CorpusGenerator
+from repro.features.pipeline import FeaturePipeline
+from repro.models.factory import (
+    train_binary_substitute_model,
+    train_substitute_model,
+    train_target_model,
+)
+from repro.models.substitute_model import SubstituteModel
+from repro.models.target_model import TargetModel
+from repro.utils.rng import SeedSequence
+
+
+class ExperimentContext:
+    """Lazily builds and caches everything the experiments share.
+
+    Parameters
+    ----------
+    scale:
+        Scale profile (defaults to the ``REPRO_SCALE`` environment selection).
+    seed:
+        Master seed; every derived component gets a named child seed.
+    """
+
+    def __init__(self, scale: Optional[ScaleProfile] = None, seed: int = 0) -> None:
+        self.scale = scale if scale is not None else default_profile()
+        self.seed = seed
+        self.seeds = SeedSequence(master_seed=seed)
+        self._generator: Optional[CorpusGenerator] = None
+        self._corpus: Optional[CorpusBundle] = None
+        self._target: Optional[TargetModel] = None
+        self._substitute: Optional[SubstituteModel] = None
+        self._binary_substitute: Optional[SubstituteModel] = None
+        self._binary_pipeline: Optional[FeaturePipeline] = None
+        self._attack_malware: Optional[Dataset] = None
+        self._greybox_adversarial: Dict[tuple, Dataset] = {}
+
+    # ------------------------------------------------------------------ #
+    # Corpus and models
+    # ------------------------------------------------------------------ #
+    @property
+    def generator(self) -> CorpusGenerator:
+        """The corpus generator (shared so family/OS mixtures are consistent)."""
+        if self._generator is None:
+            self._generator = CorpusGenerator(scale=self.scale,
+                                              seed=self.seeds.seed_for("corpus"))
+        return self._generator
+
+    @property
+    def corpus(self) -> CorpusBundle:
+        """The Table I corpus bundle (train/validation/test + pipeline)."""
+        if self._corpus is None:
+            self._corpus = self.generator.generate_corpus()
+        return self._corpus
+
+    @property
+    def pipeline(self) -> FeaturePipeline:
+        """The defender's fitted feature pipeline."""
+        return self.corpus.pipeline
+
+    @property
+    def target_model(self) -> TargetModel:
+        """The deployed 4-layer target DNN, trained on the corpus."""
+        if self._target is None:
+            self._target = train_target_model(self.corpus, scale=self.scale,
+                                              random_state=self.seeds.seed_for("target"))
+        return self._target
+
+    @property
+    def substitute_model(self) -> SubstituteModel:
+        """The Table IV substitute trained on the attacker's own data (491 features)."""
+        if self._substitute is None:
+            attacker_data = self.generator.generate_attacker_corpus(
+                n_clean=self.scale.train_clean,
+                n_malware=self.scale.train_malware,
+                pipeline=self.pipeline,
+                name="attacker_counts")
+            self._substitute = train_substitute_model(
+                attacker_data, scale=self.scale,
+                random_state=self.seeds.seed_for("substitute"))
+        return self._substitute
+
+    @property
+    def binary_substitute(self) -> SubstituteModel:
+        """The binary-feature substitute of the second grey-box experiment."""
+        if self._binary_substitute is None:
+            self._binary_substitute, self._binary_pipeline = train_binary_substitute_model(
+                self.generator,
+                n_clean=self.scale.train_clean,
+                n_malware=self.scale.train_malware,
+                scale=self.scale,
+                random_state=self.seeds.seed_for("binary_substitute"))
+        return self._binary_substitute
+
+    @property
+    def binary_pipeline(self) -> FeaturePipeline:
+        """The binary-feature pipeline owned by the binary substitute's attacker."""
+        if self._binary_pipeline is None:
+            _ = self.binary_substitute
+        return self._binary_pipeline
+
+    # ------------------------------------------------------------------ #
+    # Attack inputs
+    # ------------------------------------------------------------------ #
+    @property
+    def attack_malware(self) -> Dataset:
+        """The malware samples used to craft adversarial examples.
+
+        The paper uses all 28,874 test malware samples; scale profiles cap
+        this at ``attack_samples`` for tractability.
+        """
+        if self._attack_malware is None:
+            malware = self.corpus.test.malware_only()
+            n = min(self.scale.attack_samples, malware.n_samples)
+            self._attack_malware = malware.sample(
+                n, random_state=self.seeds.seed_for("attack_malware"),
+                name="attack_malware", stratify=False)
+        return self._attack_malware
+
+    def greybox_adversarial(self, theta: float = 0.1, gamma: float = 0.02) -> Dataset:
+        """Adversarial examples crafted on the substitute at (θ, γ).
+
+        These are the examples the defense experiments consume (the paper
+        uses the grey-box set crafted at θ=0.1, γ=0.02).  Results are cached
+        per operating point.
+        """
+        key = (round(float(theta), 6), round(float(gamma), 6))
+        if key not in self._greybox_adversarial:
+            constraints = PerturbationConstraints(theta=theta, gamma=gamma)
+            # Full-budget crafting (no early stop): stopping as soon as the
+            # substitute is fooled produces minimal perturbations that do not
+            # transfer to the target model.
+            attack = JsmaAttack(self.substitute_model.network, constraints=constraints,
+                                early_stop=False)
+            result = attack.run(self.attack_malware.features)
+            self._greybox_adversarial[key] = Dataset(
+                features=result.adversarial,
+                labels=np.full(result.n_samples, CLASS_MALWARE, dtype=np.int64),
+                name=f"advex_theta{theta}_gamma{gamma}",
+            )
+        return self._greybox_adversarial[key]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        """Summary of what has been built so far (for logs and debugging)."""
+        return {
+            "scale": self.scale.name,
+            "seed": self.seed,
+            "corpus_built": self._corpus is not None,
+            "target_trained": self._target is not None,
+            "substitute_trained": self._substitute is not None,
+            "binary_substitute_trained": self._binary_substitute is not None,
+            "cached_adversarial_sets": sorted(self._greybox_adversarial),
+        }

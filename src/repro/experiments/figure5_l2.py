@@ -1,0 +1,94 @@
+"""Figure 5 — L2 distances between malware, clean and adversarial populations.
+
+For the grey-box attack (crafted on the substitute with the original 491
+features) the paper measures three L2 distances as the attack strength
+grows: malware↔adversarial, malware↔clean and clean↔adversarial, and finds
+malware↔adversarial < malware↔clean < clean↔adversarial — adversarial
+examples live in a blind spot far from the clean population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.evaluation.distances import DistanceReport, l2_distance_report
+from repro.evaluation.reports import format_table
+from repro.evaluation.security_curve import paper_gamma_grid, paper_theta_grid
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Figure5Result:
+    """Distance reports for the γ sweep (panel a) and θ sweep (panel b)."""
+
+    gamma_reports: List[DistanceReport]
+    theta_reports: List[DistanceReport]
+
+    def ordering_holds_everywhere(self, skip_zero_strength: bool = True) -> bool:
+        """Whether the paper's distance ordering holds at every swept point."""
+        reports = self.gamma_reports + self.theta_reports
+        for report in reports:
+            if skip_zero_strength and (report.gamma == 0.0 or report.theta == 0.0):
+                continue
+            if not report.ordering_holds():
+                return False
+        return True
+
+    def distances_grow_with_strength(self) -> bool:
+        """Whether malware↔adversarial distance increases with attack strength."""
+        def _monotonic(reports: List[DistanceReport]) -> bool:
+            values = [r.malware_to_adversarial for r in reports]
+            return all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        return _monotonic(self.gamma_reports) and _monotonic(self.theta_reports)
+
+    def rows(self) -> List[List[object]]:
+        """One row per swept point."""
+        rows = []
+        for report in self.gamma_reports + self.theta_reports:
+            rows.append([report.theta, report.gamma,
+                         report.malware_to_adversarial,
+                         report.malware_to_clean,
+                         report.clean_to_adversarial])
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering of both panels."""
+        headers = ["theta", "gamma", "L2(mal, adv)", "L2(mal, clean)", "L2(clean, adv)"]
+        return format_table(headers, self.rows(),
+                            title="Figure 5 — L2 distances in the grey-box attack")
+
+
+def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
+        n_theta_points: Optional[int] = None,
+        max_pairs: int = 100_000) -> Figure5Result:
+    """Compute the Figure 5 distance curves."""
+    substitute = context.substitute_model
+    malware = context.attack_malware
+    clean = context.corpus.test.clean_only()
+    seed = context.seeds.seed_for("figure5:pairs")
+    gamma_grid = paper_gamma_grid(n_gamma_points or context.scale.sweep_points_gamma)
+    theta_grid = paper_theta_grid(n_theta_points or context.scale.sweep_points_theta)
+
+    def craft(theta: float, gamma: float):
+        constraints = PerturbationConstraints(theta=theta, gamma=gamma)
+        attack = JsmaAttack(substitute.network, constraints=constraints, early_stop=False)
+        return attack.run(malware.features)
+
+    gamma_reports = []
+    for gamma in gamma_grid:
+        result = craft(0.1, gamma)
+        gamma_reports.append(l2_distance_report(
+            result.original, result.adversarial, clean.features,
+            theta=0.1, gamma=gamma, max_pairs=max_pairs, random_state=seed))
+
+    theta_reports = []
+    for theta in theta_grid:
+        result = craft(theta, 0.005)
+        theta_reports.append(l2_distance_report(
+            result.original, result.adversarial, clean.features,
+            theta=theta, gamma=0.005, max_pairs=max_pairs, random_state=seed))
+
+    return Figure5Result(gamma_reports=gamma_reports, theta_reports=theta_reports)

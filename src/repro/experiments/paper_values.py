@@ -1,0 +1,86 @@
+"""The numbers the paper reports, collected in one place.
+
+Experiment result objects embed the corresponding paper values so that
+result renderings (and EXPERIMENTS.md) can show paper-vs-measured side by
+side.  Absolute agreement is not expected — the substrate is synthetic — but
+the qualitative orderings and the approximate factors should match.
+"""
+
+from __future__ import annotations
+
+#: Table I — dataset sizes.
+TABLE_I = {
+    "train": {"total": 57170, "clean": 28594, "malware": 28576},
+    "validation": {"total": 578, "clean": 280, "malware": 298},
+    "test": {"total": 45028, "clean": 16154, "malware": 28874},
+}
+
+#: Table IV — substitute model architecture.
+TABLE_IV = {
+    "training_samples": 57170,
+    "layers": [491, 1200, 1500, 1300, 2],
+    "epochs": 1000,
+    "batch_size": 256,
+    "learning_rate": 1e-3,
+    "optimizer": "adam",
+}
+
+#: Section III-A — white-box attack operating point.
+WHITE_BOX = {
+    "theta": 0.1,
+    "gamma": 0.025,
+    "added_features": 12,
+    "detection_rate": 0.099,
+    "evaded_malware": 26015,
+    "attack_samples": 28874,
+}
+
+#: Section III-B — grey-box attack (exact 491 features).
+GREY_BOX_COUNTS = {
+    "theta": 0.1,
+    "gamma": 0.005,
+    "added_features": 2,
+    "target_detection_rate": 0.147,
+    "transfer_rate": 0.853,
+    "evaded_malware": 24630,
+}
+
+#: Section III-B — grey-box attack with a binary-feature substitute.
+GREY_BOX_BINARY = {
+    "target_detection_rate": 0.6951,
+    "transfer_rate": 0.3049,
+}
+
+#: Section III-B — live grey-box test (single API added to the source).
+LIVE_GREY_BOX = {
+    "original_confidence": 0.9843,
+    "confidence_after_1": 0.8888,
+    "confidence_after_8": 0.0,
+    "max_repetitions": 8,
+}
+
+#: Table V — adversarial-training dataset composition.
+TABLE_V = {
+    "train": {"total": 53482, "clean": 26118, "malware_and_advex": 27364},
+    "test": {"total": 26560, "clean": 5090, "malware": 5252, "advex": 16218},
+}
+
+#: Table VI — defense testing results (TPR / TNR per test set).
+TABLE_VI = {
+    "no_defense": {"clean_tnr": 0.964, "malware_tpr": 0.883, "advex_tpr": 0.304},
+    "adversarial_training": {"clean_tnr": 0.995, "malware_tpr": 0.888, "advex_tpr": 0.931},
+    "distillation": {"clean_tnr": 0.428, "malware_tpr": 0.573, "advex_tpr": 0.577},
+    "feature_squeezing": {"clean_tnr": 0.586, "malware_tpr": 0.438, "advex_tpr": 0.554},
+    "dim_reduction": {"clean_tnr": 0.674, "malware_tpr": 0.914, "advex_tpr": 0.913},
+}
+
+#: Defense hyper-parameters reported in the paper.
+DEFENSE_PARAMS = {
+    "distillation_temperature": 50.0,
+    "pca_components": 19,
+    "adv_training_theta": 0.1,
+    "adv_training_gamma": 0.02,
+}
+
+#: Figure 1 — the illustrated adversarial example adds two API calls.
+FIGURE_1 = {"added_api_calls": 2, "example_apis": ["destroyicon", "dllsload"]}

@@ -1,0 +1,93 @@
+"""Registry of every reproduced table and figure.
+
+``run_experiment("figure3", context)`` executes the corresponding driver;
+``available_experiments()`` lists what can be run.  The benchmark harness in
+``benchmarks/`` iterates this registry so that every table and figure has a
+regenerating bench target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    figure1_example,
+    figure2_blackbox,
+    figure3_whitebox,
+    figure4_greybox,
+    figure5_l2,
+    live_greybox,
+    table1_dataset,
+    table2_logs,
+    table3_features,
+    table4_substitute,
+    table5_advtraining,
+    table6_defense,
+)
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata for one reproducible table/figure."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[[ExperimentContext], object]
+    paper_section: str
+    kind: str  # "table" or "figure" or "live"
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in (
+        ExperimentSpec("table1", "Dataset composition", table1_dataset.run,
+                       "Section II-A, Table I", "table"),
+        ExperimentSpec("table2", "Excerpt of a log file", table2_logs.run,
+                       "Section II-A, Table II", "table"),
+        ExperimentSpec("table3", "Excerpt of the API features", table3_features.run,
+                       "Section II-A, Table III", "table"),
+        ExperimentSpec("table4", "Substitute model architecture", table4_substitute.run,
+                       "Section II-B, Table IV", "table"),
+        ExperimentSpec("table5", "Adversarial training dataset", table5_advtraining.run,
+                       "Section III-C, Table V", "table"),
+        ExperimentSpec("table6", "Defense testing results", table6_defense.run,
+                       "Section III-C, Table VI", "table"),
+        ExperimentSpec("figure1", "Adversarial example generation", figure1_example.run,
+                       "Section II-B, Figure 1", "figure"),
+        ExperimentSpec("figure2", "Black-box attack framework", figure2_blackbox.run,
+                       "Section II-B / IV, Figure 2", "figure"),
+        ExperimentSpec("figure3", "White-box security evaluation curves", figure3_whitebox.run,
+                       "Section III-A, Figure 3", "figure"),
+        ExperimentSpec("figure4", "Grey-box security evaluation curves", figure4_greybox.run,
+                       "Section III-B, Figure 4", "figure"),
+        ExperimentSpec("figure5", "L2 distances in the grey-box attack", figure5_l2.run,
+                       "Section III-B, Figure 5", "figure"),
+        ExperimentSpec("live_greybox", "Live grey-box source-modification test",
+                       live_greybox.run, "Section III-B", "live"),
+    )
+}
+
+
+def available_experiments() -> List[str]:
+    """Sorted list of experiment ids."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, context: Optional[ExperimentContext] = None,
+                   **kwargs):
+    """Run one experiment by id and return its result object."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; expected one of {available_experiments()}"
+        )
+    context = context if context is not None else ExperimentContext()
+    return EXPERIMENTS[experiment_id].runner(context, **kwargs)
+
+
+def run_all(context: Optional[ExperimentContext] = None) -> Dict[str, object]:
+    """Run every registered experiment, sharing one context."""
+    context = context if context is not None else ExperimentContext()
+    return {experiment_id: spec.runner(context)
+            for experiment_id, spec in sorted(EXPERIMENTS.items())}

@@ -1,0 +1,62 @@
+"""Table I — dataset composition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.evaluation.reports import format_table
+from repro.experiments import paper_values
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Table1Result:
+    """Measured split sizes next to the paper's Table I."""
+
+    scale_name: str
+    measured: Dict[str, Dict[str, int]]
+    paper: Dict[str, Dict[str, int]]
+
+    def rows(self) -> List[Tuple[str, int, int, int, int]]:
+        """(split, measured total, measured clean, measured malware, paper total)."""
+        rows = []
+        for split in ("train", "validation", "test"):
+            m = self.measured[split]
+            rows.append((split, m["total"], m["clean"], m["malware"],
+                         self.paper[split]["total"]))
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering in the Table I layout."""
+        headers = ["Dataset", "Samples", "Clean", "Malware", "Paper samples"]
+        return format_table(headers, self.rows(),
+                            title=f"Table I — dataset (scale={self.scale_name})")
+
+    def class_balance_preserved(self, tolerance: float = 0.15) -> bool:
+        """Whether each split's clean/malware ratio matches the paper's within tolerance."""
+        for split in ("train", "validation", "test"):
+            measured = self.measured[split]
+            paper = self.paper[split]
+            measured_ratio = measured["malware"] / max(measured["total"], 1)
+            paper_ratio = paper["malware"] / paper["total"]
+            if abs(measured_ratio - paper_ratio) > tolerance:
+                return False
+        return True
+
+
+def run(context: ExperimentContext) -> Table1Result:
+    """Generate the corpus and report its Table I composition."""
+    corpus = context.corpus
+    measured = {}
+    for split_name, dataset in (("train", corpus.train),
+                                ("validation", corpus.validation),
+                                ("test", corpus.test)):
+        counts = dataset.class_counts()
+        measured[split_name] = {
+            "total": dataset.n_samples,
+            "clean": counts["clean"],
+            "malware": counts["malware"],
+        }
+    return Table1Result(scale_name=context.scale.name, measured=measured,
+                        paper=paper_values.TABLE_I)

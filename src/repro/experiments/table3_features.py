@@ -1,0 +1,45 @@
+"""Table III — excerpt of the 491 API features."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apilog.api_catalog import TABLE_III_EXCERPT, TABLE_III_START_INDEX
+from repro.evaluation.reports import format_table
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Table3Result:
+    """The catalog excerpt at indices 475-484 next to the paper's excerpt."""
+
+    n_features: int
+    excerpt: List[Tuple[int, str]]
+    paper_excerpt: Tuple[str, ...]
+
+    def matches_paper(self) -> bool:
+        """Whether the reproduced catalog excerpt equals the paper's verbatim."""
+        return tuple(name for _, name in self.excerpt) == self.paper_excerpt
+
+    def rows(self) -> List[Tuple[int, str, str]]:
+        """(index, reproduced name, paper name)."""
+        return [(index, name, self.paper_excerpt[i])
+                for i, (index, name) in enumerate(self.excerpt)]
+
+    def render(self) -> str:
+        """ASCII rendering of the excerpt comparison."""
+        return format_table(["Index", "Catalog", "Paper"], self.rows(),
+                            title=f"Table III — API feature excerpt "
+                                  f"(catalog size {self.n_features})")
+
+
+def run(context: ExperimentContext) -> Table3Result:
+    """Report the canonical catalog's Table III excerpt."""
+    catalog = context.generator.catalog
+    start = TABLE_III_START_INDEX
+    return Table3Result(
+        n_features=len(catalog),
+        excerpt=catalog.excerpt(start, start + len(TABLE_III_EXCERPT)),
+        paper_excerpt=TABLE_III_EXCERPT,
+    )

@@ -1,0 +1,63 @@
+"""Table V — the adversarial-training dataset composition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.defenses.adversarial_training import AdversarialTrainingData, AdversarialTrainingDefense
+from repro.evaluation.reports import format_table
+from repro.experiments import paper_values
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Table5Result:
+    """The measured Table V composition next to the paper's."""
+
+    scale_name: str
+    data: AdversarialTrainingData
+    paper: Dict[str, Dict[str, int]]
+
+    def rows(self) -> List[List[object]]:
+        """One row per Table V line."""
+        train_counts = self.data.train.class_counts()
+        test_counts = self.data.test.class_counts()
+        return [
+            ["Training Set", self.data.train.n_samples,
+             train_counts["clean"], train_counts["malware"],
+             self.paper["train"]["total"]],
+            ["Test Set", self.data.test.n_samples,
+             test_counts["clean"], test_counts["malware"],
+             self.paper["test"]["total"]],
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering."""
+        headers = ["Dataset", "Samples", "Clean", "Malware+AdvEx", "Paper samples"]
+        return format_table(headers, self.rows(),
+                            title=f"Table V — adversarial training dataset "
+                                  f"(scale={self.scale_name})")
+
+    def training_set_is_balanced(self, tolerance: float = 0.25) -> bool:
+        """Whether the augmented training set keeps a rough class balance."""
+        counts = self.data.train.class_counts()
+        total = self.data.train.n_samples
+        return abs(counts["clean"] / total - 0.5) <= tolerance
+
+    def adversarial_examples_included(self) -> bool:
+        """Whether adversarial examples were injected into the training set."""
+        return self.data.n_adversarial_train > 0
+
+
+def run(context: ExperimentContext,
+        defense: Optional[AdversarialTrainingDefense] = None) -> Table5Result:
+    """Assemble the Table V datasets (without retraining the model)."""
+    adversarial = context.greybox_adversarial(
+        theta=paper_values.DEFENSE_PARAMS["adv_training_theta"],
+        gamma=paper_values.DEFENSE_PARAMS["adv_training_gamma"])
+    defense = defense if defense is not None else AdversarialTrainingDefense(
+        scale=context.scale, random_state=context.seeds.seed_for("table5"))
+    data = defense.build_datasets(context.corpus.train, context.corpus.test, adversarial)
+    return Table5Result(scale_name=context.scale.name, data=data,
+                        paper=paper_values.TABLE_V)

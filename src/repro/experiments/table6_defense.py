@@ -1,0 +1,163 @@
+"""Table VI — defense testing results.
+
+Five rows are reproduced: No Defense, Adversarial Training, Defensive
+Distillation (T = 50), Feature Squeezing and Dimensionality Reduction
+(k = 19).  Each is evaluated on three test sets — the clean test split, the
+malware test split and the grey-box adversarial examples (crafted at
+θ = 0.1, γ = 0.02 on the substitute) — reporting TNR on the clean set and
+TPR on the malware / adversarial sets, exactly the cells Table VI fills in
+(the remaining cells are ``nan``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import CLASS_MALWARE
+from repro.data.dataset import Dataset
+from repro.defenses.adversarial_training import AdversarialTrainingDefense
+from repro.defenses.base import DefendedDetector, ModelBackedDetector
+from repro.defenses.dim_reduction import DimensionalityReductionDefense
+from repro.defenses.distillation import DefensiveDistillation
+from repro.defenses.ensemble import EnsembleDefense
+from repro.defenses.feature_squeezing import FeatureSqueezingDefense
+from repro.evaluation.reports import render_defense_table
+from repro.experiments import paper_values
+from repro.experiments.context import ExperimentContext
+
+
+@dataclass
+class Table6Result:
+    """Measured defense rates next to the paper's Table VI."""
+
+    scale_name: str
+    results: Dict[str, Dict[str, Dict[str, float]]]
+    paper: Dict[str, Dict[str, float]]
+    include_ensemble: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def rate(self, defense: str, dataset: str, metric: str) -> float:
+        """Look up one measured cell (e.g. ``rate("adv_training", "advex", "tpr")``)."""
+        return self.results[defense][dataset][metric]
+
+    def adversarial_training_recovers_detection(self, margin: float = 0.2) -> bool:
+        """Paper claim: adversarial training raises advEx TPR far above no-defense."""
+        return (self.rate("adversarial_training", "advex_test", "tpr")
+                > self.rate("no_defense", "advex_test", "tpr") + margin)
+
+    def adversarial_training_preserves_clean(self, tolerance: float = 0.05) -> bool:
+        """Paper claim: adversarial training does not hurt the clean TNR."""
+        return (self.rate("adversarial_training", "clean_test", "tnr")
+                >= self.rate("no_defense", "clean_test", "tnr") - tolerance)
+
+    def dim_reduction_costs_clean_accuracy(self) -> bool:
+        """Paper claim: the PCA defense trades clean TNR for adversarial TPR."""
+        return (self.rate("dim_reduction", "clean_test", "tnr")
+                < self.rate("no_defense", "clean_test", "tnr"))
+
+    def rows(self) -> List[List[object]]:
+        """Flat rows: defense, dataset, measured TPR/TNR, paper TPR/TNR."""
+        paper_lookup = {
+            ("no_defense", "clean_test"): ("", self.paper["no_defense"]["clean_tnr"]),
+            ("no_defense", "malware_test"): (self.paper["no_defense"]["malware_tpr"], ""),
+            ("no_defense", "advex_test"): (self.paper["no_defense"]["advex_tpr"], ""),
+            ("adversarial_training", "clean_test"): ("", self.paper["adversarial_training"]["clean_tnr"]),
+            ("adversarial_training", "malware_test"): (self.paper["adversarial_training"]["malware_tpr"], ""),
+            ("adversarial_training", "advex_test"): (self.paper["adversarial_training"]["advex_tpr"], ""),
+            ("distillation", "clean_test"): ("", self.paper["distillation"]["clean_tnr"]),
+            ("distillation", "malware_test"): (self.paper["distillation"]["malware_tpr"], ""),
+            ("distillation", "advex_test"): (self.paper["distillation"]["advex_tpr"], ""),
+            ("feature_squeezing", "clean_test"): ("", self.paper["feature_squeezing"]["clean_tnr"]),
+            ("feature_squeezing", "malware_test"): (self.paper["feature_squeezing"]["malware_tpr"], ""),
+            ("feature_squeezing", "advex_test"): (self.paper["feature_squeezing"]["advex_tpr"], ""),
+            ("dim_reduction", "clean_test"): ("", self.paper["dim_reduction"]["clean_tnr"]),
+            ("dim_reduction", "malware_test"): (self.paper["dim_reduction"]["malware_tpr"], ""),
+            ("dim_reduction", "advex_test"): (self.paper["dim_reduction"]["advex_tpr"], ""),
+        }
+        rows = []
+        for defense_name, per_dataset in self.results.items():
+            for dataset_name, rates in per_dataset.items():
+                paper_tpr, paper_tnr = paper_lookup.get((defense_name, dataset_name), ("", ""))
+                rows.append([defense_name, dataset_name,
+                             rates.get("tpr", float("nan")),
+                             rates.get("tnr", float("nan")),
+                             paper_tpr, paper_tnr])
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering in the Table VI layout (with paper columns)."""
+        from repro.evaluation.reports import format_table
+
+        headers = ["Defense", "Dataset", "TPR", "TNR", "Paper TPR", "Paper TNR"]
+        return format_table(headers, self.rows(),
+                            title=f"Table VI — defense testing results "
+                                  f"(scale={self.scale_name})")
+
+
+def _evaluate(detector: DefendedDetector, clean: Dataset, malware: Dataset,
+              advex: Dataset) -> Dict[str, Dict[str, float]]:
+    """TNR on the clean set, TPR on the malware and adversarial sets."""
+    return {
+        "clean_test": {"tpr": float("nan"), "tnr": detector.report(clean).tnr},
+        "malware_test": {"tpr": detector.report(malware).tpr, "tnr": float("nan")},
+        "advex_test": {"tpr": detector.detection_rate(advex.features), "tnr": float("nan")},
+    }
+
+
+def run(context: ExperimentContext, include_ensemble: bool = False,
+        distillation_temperature: Optional[float] = None,
+        pca_components: Optional[int] = None) -> Table6Result:
+    """Fit every defense and evaluate the Table VI grid."""
+    corpus = context.corpus
+    target = context.target_model
+    clean_test = corpus.test.clean_only()
+    malware_test = corpus.test.malware_only()
+    advex = context.greybox_adversarial(
+        theta=paper_values.DEFENSE_PARAMS["adv_training_theta"],
+        gamma=paper_values.DEFENSE_PARAMS["adv_training_gamma"])
+
+    temperature = (distillation_temperature if distillation_temperature is not None
+                   else paper_values.DEFENSE_PARAMS["distillation_temperature"])
+    n_components = (pca_components if pca_components is not None
+                    else min(paper_values.DEFENSE_PARAMS["pca_components"],
+                             corpus.train.n_features))
+
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+
+    no_defense = ModelBackedDetector(target, name="no_defense")
+    results["no_defense"] = _evaluate(no_defense, clean_test, malware_test, advex)
+
+    adv_training = AdversarialTrainingDefense(
+        scale=context.scale, random_state=context.seeds.seed_for("table6:advtraining"))
+    adv_detector = adv_training.fit(corpus.train, corpus.test, advex,
+                                    validation=corpus.validation)
+    results["adversarial_training"] = _evaluate(adv_detector, clean_test, malware_test, advex)
+
+    distillation = DefensiveDistillation(
+        temperature=temperature, scale=context.scale,
+        random_state=context.seeds.seed_for("table6:distillation"))
+    distilled = distillation.fit(corpus.train, corpus.validation)
+    results["distillation"] = _evaluate(distilled, clean_test, malware_test, advex)
+
+    squeezing = FeatureSqueezingDefense()
+    squeezed = squeezing.fit(target.network, corpus.validation)
+    results["feature_squeezing"] = _evaluate(squeezed, clean_test, malware_test, advex)
+
+    dim_reduction = DimensionalityReductionDefense(
+        n_components=n_components, scale=context.scale,
+        random_state=context.seeds.seed_for("table6:dimreduct"))
+    reduced = dim_reduction.fit(corpus.train, corpus.validation)
+    results["dim_reduction"] = _evaluate(reduced, clean_test, malware_test, advex)
+
+    if include_ensemble:
+        ensemble = EnsembleDefense(voting="average").fit([adv_detector, reduced])
+        results["ensemble_advtrain_dimreduct"] = _evaluate(ensemble, clean_test,
+                                                           malware_test, advex)
+
+    return Table6Result(scale_name=context.scale.name, results=results,
+                        paper=paper_values.TABLE_VI, include_ensemble=include_ensemble)

@@ -1,0 +1,35 @@
+"""Feature extraction and transformation.
+
+The detector's input is a 491-dimensional vector of API-call counts
+(Section II-A): raw counts are extracted from the sandbox log, passed
+through a feature transformation, and normalised to ``[0, 1]``.  The
+grey-box experiments additionally use a *binary* featurisation (API present
+/ absent) to model an attacker who knows the API names but not the target's
+transformation.
+
+* :class:`~repro.features.extraction.CountExtractor` — log → raw counts;
+* :class:`~repro.features.transformation.CountTransformer` — raw counts →
+  normalised ``[0, 1]`` features (the target model's featurisation);
+* :class:`~repro.features.transformation.BinaryTransformer` — raw counts →
+  0/1 presence features (the second grey-box substitute's featurisation);
+* :class:`~repro.features.pipeline.FeaturePipeline` — the end-to-end,
+  serialisable ``log → feature vector`` pipeline.
+"""
+
+from repro.features.extraction import CountExtractor
+from repro.features.pipeline import FeaturePipeline
+from repro.features.transformation import (
+    BinaryTransformer,
+    CountTransformer,
+    FeatureTransformer,
+    IdentityTransformer,
+)
+
+__all__ = [
+    "CountExtractor",
+    "FeatureTransformer",
+    "CountTransformer",
+    "BinaryTransformer",
+    "IdentityTransformer",
+    "FeaturePipeline",
+]

@@ -1,0 +1,77 @@
+"""Raw API-call-count extraction from logs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.apilog.api_catalog import ApiCatalog, default_catalog
+from repro.apilog.log_format import ApiLog
+from repro.exceptions import ShapeError
+
+CountSource = Union[ApiLog, Mapping[str, int]]
+
+
+class CountExtractor:
+    """Turn an API log (or a pre-aggregated count mapping) into a count vector.
+
+    Only APIs present in the monitored catalog contribute; every other call
+    is ignored, exactly as an instrumentation-based monitor only records the
+    hooked APIs.
+
+    Parameters
+    ----------
+    catalog:
+        The monitored-API catalog; defaults to the canonical 491-API catalog.
+    """
+
+    def __init__(self, catalog: ApiCatalog | None = None) -> None:
+        self.catalog = catalog if catalog is not None else default_catalog()
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the extracted vectors."""
+        return len(self.catalog)
+
+    def _counts_of(self, source: CountSource) -> Mapping[str, int]:
+        if isinstance(source, ApiLog):
+            return source.api_counts()
+        if isinstance(source, Mapping):
+            return source
+        raise ShapeError(
+            f"expected an ApiLog or a mapping of api->count, got {type(source).__name__}"
+        )
+
+    def extract(self, source: CountSource) -> np.ndarray:
+        """Extract a single raw-count vector of shape ``(n_features,)``."""
+        counts = self._counts_of(source)
+        vector = np.zeros(self.n_features, dtype=np.float64)
+        for api, count in counts.items():
+            if count < 0:
+                raise ShapeError(f"negative count for API {api!r}")
+            key = api.lower()
+            if self.catalog.monitored(key):
+                vector[self.catalog.index_of(key)] += count
+        return vector
+
+    def extract_batch(self, sources: Iterable[CountSource]) -> np.ndarray:
+        """Extract a matrix of raw counts, one row per source."""
+        rows = [self.extract(source) for source in sources]
+        if not rows:
+            raise ShapeError("extract_batch received no sources")
+        return np.vstack(rows)
+
+    def monitored_fraction(self, source: CountSource) -> float:
+        """Fraction of the source's calls that hit monitored APIs.
+
+        Useful as a sanity diagnostic of the synthetic profiles: it should be
+        close to 1.0 because profiles are built from the catalog.
+        """
+        counts = self._counts_of(source)
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        monitored = sum(count for api, count in counts.items()
+                        if self.catalog.monitored(api))
+        return monitored / total

@@ -1,0 +1,23 @@
+"""Detector models: the proprietary-style target DNN and the attacker's substitutes."""
+
+from repro.models.factory import (
+    build_substitute_network,
+    build_target_network,
+    train_binary_substitute_model,
+    train_substitute_model,
+    train_target_model,
+)
+from repro.models.substitute_model import SUBSTITUTE_LAYER_SIZES, SubstituteModel
+from repro.models.target_model import TARGET_LAYER_SIZES, TargetModel
+
+__all__ = [
+    "TargetModel",
+    "TARGET_LAYER_SIZES",
+    "SubstituteModel",
+    "SUBSTITUTE_LAYER_SIZES",
+    "build_target_network",
+    "build_substitute_network",
+    "train_target_model",
+    "train_substitute_model",
+    "train_binary_substitute_model",
+]

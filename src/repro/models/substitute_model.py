@@ -1,0 +1,56 @@
+"""The attacker's substitute model (Table IV).
+
+Table IV discloses the substitute architecture used for the grey-box
+attacks: a 5-layer fully-connected DNN with layer widths
+491 → 1200 → 1500 → 1300 → 2, trained with Adam (learning rate ``1e-3``,
+batch size 256) on 57,170 balanced samples for 1000 epochs.  The synthetic
+corpus is much easier than the real one, so scale profiles shrink the widths
+and epochs while preserving the depth and optimiser configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import N_FEATURES, ScaleProfile
+from repro.models.base import DetectorModel
+from repro.nn.network import NeuralNetwork
+from repro.utils.rng import RandomState
+
+#: Table IV layer widths: 491-1200-1500-1300-2.
+SUBSTITUTE_LAYER_SIZES = (N_FEATURES, 1200, 1500, 1300, 2)
+
+
+class SubstituteModel(DetectorModel):
+    """The attacker-trained stand-in used to craft transferable examples."""
+
+    def __init__(self, layer_sizes: Optional[Sequence[int]] = None,
+                 dropout: float = 0.0, random_state: RandomState = None,
+                 name: str = "substitute_dnn") -> None:
+        sizes = list(layer_sizes) if layer_sizes is not None else list(SUBSTITUTE_LAYER_SIZES)
+        network = NeuralNetwork.mlp(sizes, activation="relu", dropout=dropout,
+                                    name=name, random_state=random_state)
+        super().__init__(network, name=name)
+
+    @classmethod
+    def for_scale(cls, scale: ScaleProfile, random_state: RandomState = None,
+                  n_features: int = N_FEATURES, name: str = "substitute_dnn") -> "SubstituteModel":
+        """Build a substitute whose hidden widths are scaled for ``scale``."""
+        sizes = [n_features,
+                 scale.scaled_hidden(SUBSTITUTE_LAYER_SIZES[1]),
+                 scale.scaled_hidden(SUBSTITUTE_LAYER_SIZES[2]),
+                 scale.scaled_hidden(SUBSTITUTE_LAYER_SIZES[3]),
+                 2]
+        return cls(layer_sizes=sizes, random_state=random_state, name=name)
+
+    @staticmethod
+    def table4_rows(scale: Optional[ScaleProfile] = None) -> list[tuple[str, str]]:
+        """The rows of Table IV (optionally annotated with the scaled widths)."""
+        rows = [("training data", "57170 balanced training data"),
+                ("architecture", "5-layer DNN")]
+        widths = SUBSTITUTE_LAYER_SIZES
+        for index, width in enumerate(widths, start=1):
+            scaled = "" if scale is None else f" (scaled: {scale.scaled_hidden(width) if 1 <= index - 1 <= 3 else width})"
+            rows.append((f"{index}{'st' if index == 1 else 'nd' if index == 2 else 'rd' if index == 3 else 'th'} layer",
+                         f"{width} nodes{scaled}"))
+        return rows

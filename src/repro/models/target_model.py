@@ -1,0 +1,41 @@
+"""The target model: the deployed ML malware engine under attack.
+
+The paper's target is a proprietary 4-layer fully-connected DNN trained on
+millions of samples; only its depth is disclosed.  We reproduce that shape —
+four layers of nodes (input, two hidden, output) — trained on the synthetic
+corpus.  It consumes the 491-dimensional normalised count features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import N_FEATURES, ScaleProfile
+from repro.models.base import DetectorModel
+from repro.nn.network import NeuralNetwork
+from repro.utils.rng import RandomState
+
+#: Paper-scale layer widths for the 4-layer target DNN (input, 2 hidden, output).
+TARGET_LAYER_SIZES = (N_FEATURES, 1024, 512, 2)
+
+
+class TargetModel(DetectorModel):
+    """The deployed detector (defender-owned, attacker-unknown in grey-box)."""
+
+    def __init__(self, layer_sizes: Optional[Sequence[int]] = None,
+                 dropout: float = 0.1, random_state: RandomState = None,
+                 name: str = "target_dnn") -> None:
+        sizes = list(layer_sizes) if layer_sizes is not None else list(TARGET_LAYER_SIZES)
+        network = NeuralNetwork.mlp(sizes, activation="relu", dropout=dropout,
+                                    name=name, random_state=random_state)
+        super().__init__(network, name=name)
+
+    @classmethod
+    def for_scale(cls, scale: ScaleProfile, random_state: RandomState = None,
+                  n_features: int = N_FEATURES) -> "TargetModel":
+        """Build a target whose hidden widths are scaled for ``scale``."""
+        sizes = [n_features,
+                 scale.scaled_hidden(TARGET_LAYER_SIZES[1]),
+                 scale.scaled_hidden(TARGET_LAYER_SIZES[2]),
+                 2]
+        return cls(layer_sizes=sizes, random_state=random_state)

@@ -1,0 +1,43 @@
+"""Weight initialisation schemes for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+
+
+def he_normal(fan_in: int, fan_out: int, random_state: RandomState = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU activations."""
+    rng = as_rng(random_state)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def xavier_uniform(fan_in: int, fan_out: int, random_state: RandomState = None) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation, suited to tanh/sigmoid layers."""
+    rng = as_rng(random_state)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, random_state: RandomState = None) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros((fan_in, fan_out))
+
+
+INITIALIZERS = {
+    "he_normal": he_normal,
+    "xavier_uniform": xavier_uniform,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; expected one of {sorted(INITIALIZERS)}"
+        ) from None

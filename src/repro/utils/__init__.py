@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG handling, validation helpers, serialization."""
+
+from repro.utils.rng import SeedSequence, as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_unit_interval,
+    check_matrix,
+    check_labels,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "SeedSequence",
+    "as_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in_unit_interval",
+    "check_matrix",
+    "check_labels",
+    "check_positive_int",
+    "check_probability_matrix",
+]

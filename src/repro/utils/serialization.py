@@ -1,0 +1,72 @@
+"""Lightweight serialization helpers (JSON metadata + ``.npz`` arrays).
+
+Models and feature pipelines are persisted as a directory containing a
+``meta.json`` file with hyper-parameters plus an ``arrays.npz`` file with
+weights.  Keeping the format human-inspectable makes experiment artifacts
+easy to audit, and avoids pickle's arbitrary-code-execution hazard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+_META_FILENAME = "meta.json"
+_ARRAYS_FILENAME = "arrays.npz"
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays into JSON-serialisable equivalents."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def save_bundle(path: str | Path, meta: Mapping[str, Any],
+                arrays: Mapping[str, np.ndarray]) -> Path:
+    """Persist ``meta`` and ``arrays`` under directory ``path``.
+
+    Returns the directory path.  Overwrites existing files at that location.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    try:
+        with open(directory / _META_FILENAME, "w", encoding="utf-8") as handle:
+            json.dump(_jsonable(dict(meta)), handle, indent=2, sort_keys=True)
+        np.savez_compressed(directory / _ARRAYS_FILENAME,
+                            **{key: np.asarray(val) for key, val in arrays.items()})
+    except (OSError, TypeError, ValueError) as exc:
+        raise SerializationError(f"failed to save bundle to {directory}: {exc}") from exc
+    return directory
+
+
+def load_bundle(path: str | Path) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Load a bundle written by :func:`save_bundle`."""
+    directory = Path(path)
+    meta_path = directory / _META_FILENAME
+    arrays_path = directory / _ARRAYS_FILENAME
+    if not meta_path.exists() or not arrays_path.exists():
+        raise SerializationError(
+            f"{directory} does not contain a bundle ({_META_FILENAME} + {_ARRAYS_FILENAME})"
+        )
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        with np.load(arrays_path) as data:
+            arrays = {key: data[key] for key in data.files}
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"failed to load bundle from {directory}: {exc}") from exc
+    return meta, arrays

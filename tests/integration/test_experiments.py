@@ -1,0 +1,113 @@
+"""Integration tests for the experiment registry (every table and figure runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import available_experiments, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        expected = {"table1", "table2", "table3", "table4", "table5", "table6",
+                    "figure1", "figure2", "figure3", "figure4", "figure5",
+                    "live_greybox"}
+        assert set(available_experiments()) == expected
+
+    def test_specs_carry_paper_sections(self):
+        assert all(spec.paper_section for spec in EXPERIMENTS.values())
+
+    def test_unknown_experiment_rejected(self, tiny_context):
+        with pytest.raises(Exception):
+            run_experiment("figure99", tiny_context)
+
+
+class TestLightExperiments:
+    def test_table1_reproduces_split_structure(self, tiny_context):
+        result = run_experiment("table1", tiny_context)
+        assert result.class_balance_preserved()
+        assert result.measured["train"]["total"] == tiny_context.scale.train_total
+        assert "Table I" in result.render()
+
+    def test_table2_log_excerpt_round_trips(self, tiny_context):
+        result = run_experiment("table2", tiny_context)
+        assert result.round_trips()
+        assert len(result.excerpt_lines) == 10
+        assert result.total_records >= 10
+
+    def test_table3_matches_paper_exactly(self, tiny_context):
+        result = run_experiment("table3", tiny_context)
+        assert result.matches_paper()
+        assert result.n_features == 491
+
+    def test_table4_substitute_depth(self, tiny_context):
+        result = run_experiment("table4", tiny_context)
+        assert result.depth_matches()
+        assert result.paper_layers == [491, 1200, 1500, 1300, 2]
+
+    def test_figure1_adds_requested_number_of_apis(self, tiny_context):
+        result = run_experiment("figure1", tiny_context, n_added_features=2)
+        assert len(result.added_apis) <= 2
+        assert result.original_prediction == 1
+        assert (result.adversarial_malware_confidence
+                <= result.original_malware_confidence + 1e-9)
+
+
+class TestAttackExperiments:
+    def test_figure3_whitebox_curves(self, tiny_context):
+        result = run_experiment("figure3", tiny_context)
+        rates = result.gamma_curve.detection_rates("target")
+        assert rates[-1] < rates[0]            # detection collapses with strength
+        assert result.attack_beats_random()    # JSMA is not random noise
+        assert result.operating_point_detection() < result.baseline_detection_rate
+
+    def test_figure4_greybox_curves(self, tiny_context):
+        result = run_experiment("figure4", tiny_context)
+        # the grey-box attack weakens the target, and the binary-feature
+        # substitute transfers worse than the count-feature substitute
+        assert (result.gamma_curve.minimum_detection_rate("target")
+                < result.baseline_detection_rate)
+        assert result.count_attack_transfers_better_than_binary()
+        assert 0.0 <= result.transfer_rate <= 1.0
+
+    def test_figure5_distance_ordering(self, tiny_context):
+        result = run_experiment("figure5", tiny_context)
+        assert result.ordering_holds_everywhere()
+        assert result.distances_grow_with_strength()
+
+    def test_live_greybox_confidence_decays(self, tiny_context):
+        result = run_experiment("live_greybox", tiny_context, max_repetitions=6)
+        assert result.confidence_decreases()
+        assert len(result.trace.confidences) == 6
+
+    def test_figure2_blackbox_framework(self, tiny_context):
+        result = run_experiment("figure2", tiny_context, augmentation_rounds=1)
+        assert result.report.oracle_queries > 0
+        assert 0.0 <= result.transfer_rate <= 1.0
+        assert result.report.substitute_agreement > 0.5
+
+
+class TestDefenseExperiments:
+    def test_table5_dataset_composition(self, tiny_context):
+        result = run_experiment("table5", tiny_context)
+        assert result.adversarial_examples_included()
+        assert result.training_set_is_balanced()
+        assert len(result.rows()) == 2
+
+    def test_table6_defense_comparison(self, tiny_context):
+        result = run_experiment("table6", tiny_context)
+        assert set(result.results) >= {"no_defense", "adversarial_training",
+                                       "distillation", "feature_squeezing",
+                                       "dim_reduction"}
+        # the paper's headline defense claims
+        assert result.adversarial_training_recovers_detection(margin=0.1)
+        assert result.adversarial_training_preserves_clean(tolerance=0.1)
+        # every measured cell is a rate or nan
+        for per_dataset in result.results.values():
+            for rates in per_dataset.values():
+                for value in rates.values():
+                    assert np.isnan(value) or 0.0 <= value <= 1.0
+
+    def test_table6_with_ensemble_extension(self, tiny_context):
+        result = run_experiment("table6", tiny_context, include_ensemble=True)
+        assert "ensemble_advtrain_dimreduct" in result.results

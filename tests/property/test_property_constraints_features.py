@@ -1,0 +1,114 @@
+"""Property-based tests for the attack constraints and feature transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.features.transformation import BinaryTransformer, CountTransformer
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+count_floats = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+def feature_matrices(max_rows=5, n_features=12, elements=unit_floats):
+    return npst.arrays(np.float64, st.tuples(st.integers(1, max_rows), st.just(n_features)),
+                       elements=elements)
+
+
+@st.composite
+def matrix_pairs(draw, max_rows=5, n_features=12, elements=unit_floats):
+    """Two matrices of identical shape (an original and a candidate)."""
+    n_rows = draw(st.integers(1, max_rows))
+    shape = (n_rows, n_features)
+    first = draw(npst.arrays(np.float64, shape, elements=elements))
+    second = draw(npst.arrays(np.float64, shape, elements=elements))
+    return first, second
+
+
+class TestConstraintProperties:
+    @given(pair=matrix_pairs(), theta=st.floats(0.0, 1.0), gamma=st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_projection_is_always_feasible_wrt_box_and_add_only(self, pair, theta, gamma):
+        original, candidate = pair
+        constraints = PerturbationConstraints(theta=theta, gamma=gamma)
+        projected = constraints.project(candidate, original)
+        assert projected.min() >= constraints.clip_min - 1e-12
+        assert projected.max() <= constraints.clip_max + 1e-12
+        assert np.all(projected >= original - 1e-12)
+
+    @given(original=feature_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_is_identity_on_original(self, original):
+        constraints = PerturbationConstraints()
+        np.testing.assert_allclose(constraints.project(original, original), original)
+
+    @given(pair=matrix_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_is_idempotent(self, pair):
+        original, candidate = pair
+        constraints = PerturbationConstraints()
+        once = constraints.project(candidate, original)
+        twice = constraints.project(once, original)
+        np.testing.assert_allclose(once, twice)
+
+    @given(gamma=st.floats(0.0, 1.0), n_features=st.integers(1, 2000))
+    @settings(max_examples=80, deadline=None)
+    def test_budget_is_bounded_by_feature_count(self, gamma, n_features):
+        constraints = PerturbationConstraints(gamma=gamma)
+        budget = constraints.max_features(n_features)
+        assert 0 <= budget <= n_features
+
+
+class TestCountTransformerProperties:
+    @given(train=feature_matrices(max_rows=6, elements=count_floats),
+           test=feature_matrices(max_rows=6, elements=count_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_output_always_in_unit_interval(self, train, test):
+        transformer = CountTransformer().fit(train)
+        out = transformer.transform(test)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    @given(train=feature_matrices(max_rows=6, elements=count_floats),
+           counts=feature_matrices(max_rows=4, elements=count_floats),
+           extra=st.floats(0.0, 50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_calls_never_decreases_features(self, train, counts, extra):
+        transformer = CountTransformer().fit(train)
+        base = transformer.transform(counts)
+        more = transformer.transform(counts + extra)
+        assert np.all(more >= base - 1e-12)
+
+    @given(train=feature_matrices(max_rows=6, elements=count_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_counts_always_map_to_zero(self, train):
+        transformer = CountTransformer().fit(train)
+        out = transformer.transform(np.zeros_like(train[:1]))
+        np.testing.assert_array_equal(out, 0.0)
+
+    @given(train=feature_matrices(max_rows=6, elements=count_floats),
+           counts=feature_matrices(max_rows=3, elements=count_floats))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_count_round_trips_below_saturation(self, train, counts):
+        transformer = CountTransformer(min_scale_count=600.0).fit(train)
+        features = transformer.transform(counts)
+        recovered = transformer.inverse_count(features)
+        np.testing.assert_allclose(recovered, counts, atol=1e-6)
+
+
+class TestBinaryTransformerProperties:
+    @given(counts=feature_matrices(max_rows=5, elements=count_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_binary(self, counts):
+        out = BinaryTransformer().transform(counts)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    @given(counts=feature_matrices(max_rows=5, elements=count_floats),
+           extra=st.floats(0.0, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotonic_in_counts(self, counts, extra):
+        transformer = BinaryTransformer()
+        assert np.all(transformer.transform(counts + extra)
+                      >= transformer.transform(counts) - 1e-12)

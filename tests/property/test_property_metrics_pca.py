@@ -1,0 +1,91 @@
+"""Property-based tests for metrics and PCA invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.defenses.pca import PCA
+from repro.nn.metrics import accuracy, confusion_matrix, detection_rate, rates_from_confusion
+
+label_arrays = npst.arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 1))
+
+
+class TestMetricProperties:
+    @given(y_true=label_arrays, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_confusion_matrix_total_equals_sample_count(self, y_true, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.integers(0, 2, size=y_true.shape[0])
+        assert confusion_matrix(y_true, y_pred).sum() == y_true.shape[0]
+
+    @given(y_true=label_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_has_unit_accuracy(self, y_true):
+        assert accuracy(y_true, y_true.copy()) == 1.0
+
+    @given(y_true=label_arrays, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_rates_are_in_unit_interval_or_nan(self, y_true, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.integers(0, 2, size=y_true.shape[0])
+        rates = rates_from_confusion(confusion_matrix(y_true, y_pred))
+        for value in rates.values():
+            assert np.isnan(value) or 0.0 <= value <= 1.0
+
+    @given(y_pred=label_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_detection_rate_is_mean_of_positive_predictions(self, y_pred):
+        assert detection_rate(y_pred) == np.mean(y_pred == 1)
+
+    @given(y_true=label_arrays, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_is_weighted_average_of_class_rates(self, y_true, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.integers(0, 2, size=y_true.shape[0])
+        assume(len(np.unique(y_true)) == 2)
+        rates = rates_from_confusion(confusion_matrix(y_true, y_pred))
+        n_pos = int(np.sum(y_true == 1))
+        n_neg = int(np.sum(y_true == 0))
+        weighted = (rates["tpr"] * n_pos + rates["tnr"] * n_neg) / (n_pos + n_neg)
+        assert accuracy(y_true, y_pred) == pytest.approx(weighted, abs=1e-12)
+
+
+class TestPcaProperties:
+    @given(seed=st.integers(0, 2**31 - 1), n_samples=st.integers(12, 40),
+           n_features=st.integers(3, 8), k=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_shape_and_variance_ordering(self, seed, n_samples, n_features, k):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n_samples, n_features))
+        pca = PCA(n_components=k).fit(data)
+        projected = pca.transform(data)
+        assert projected.shape == (n_samples, k)
+        variance = pca.explained_variance_
+        assert np.all(np.diff(variance) <= 1e-9)
+        assert np.all(variance >= -1e-12)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_reduces_or_preserves_reconstruction_quality_with_rank(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(30, 6))
+        error_small = PCA(n_components=2).fit(data).reconstruction_error(data).mean()
+        error_large = PCA(n_components=5).fit(data).reconstruction_error(data).mean()
+        assert error_large <= error_small + 1e-9
+
+    @given(seed=st.integers(0, 2**31 - 1), shift=st.floats(-5.0, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_is_translation_invariant(self, seed, shift):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(25, 5))
+        pca = PCA(n_components=3).fit(data)
+        shifted_pca = PCA(n_components=3).fit(data + shift)
+        # The projected point clouds agree up to per-component sign flips.
+        original = pca.transform(data)
+        shifted = shifted_pca.transform(data + shift)
+        for component in range(3):
+            same = np.allclose(original[:, component], shifted[:, component], atol=1e-6)
+            flipped = np.allclose(original[:, component], -shifted[:, component], atol=1e-6)
+            assert same or flipped

@@ -1,0 +1,120 @@
+"""Property-based tests for the numpy neural-network substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.nn.activations import ReLU, Sigmoid, Tanh, softmax
+from repro.nn.losses import SoftmaxCrossEntropy, one_hot
+from repro.nn.network import NeuralNetwork
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False,
+                          allow_infinity=False)
+
+
+def logits_matrices(max_rows=6, max_cols=5):
+    return npst.arrays(np.float64,
+                       st.tuples(st.integers(1, max_rows), st.integers(2, max_cols)),
+                       elements=finite_floats)
+
+
+class TestSoftmaxProperties:
+    @given(logits=logits_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_are_probability_distributions(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0.0)
+        assert np.all(probs <= 1.0)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(logits=logits_matrices(), shift=finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_shift_invariance(self, logits, shift):
+        np.testing.assert_allclose(softmax(logits), softmax(logits + shift), atol=1e-9)
+
+    @given(logits=logits_matrices(),
+           temperature=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_temperature_never_sharpens_distribution(self, logits, temperature):
+        base = softmax(logits)
+        heated = softmax(logits, temperature=temperature)
+        assert heated.max() <= base.max() + 1e-9
+
+    @given(logits=logits_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_argmax_is_temperature_invariant(self, logits):
+        np.testing.assert_array_equal(np.argmax(softmax(logits), axis=1),
+                                      np.argmax(softmax(logits, temperature=25.0), axis=1))
+
+
+class TestActivationProperties:
+    @given(x=npst.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 8)),
+                         elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_relu_is_non_negative_and_idempotent(self, x):
+        relu = ReLU()
+        once = relu.forward(x)
+        assert np.all(once >= 0.0)
+        np.testing.assert_array_equal(relu.forward(once), once)
+
+    @given(x=npst.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 8)),
+                         elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_output_in_unit_interval(self, x):
+        out = Sigmoid().forward(x)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+    @given(x=npst.arrays(np.float64, st.tuples(st.integers(1, 5), st.integers(1, 8)),
+                         elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_tanh_is_odd_function(self, x):
+        tanh = Tanh()
+        np.testing.assert_allclose(tanh.forward(-x), -tanh.forward(x), atol=1e-12)
+
+
+class TestLossProperties:
+    @given(logits=logits_matrices(max_cols=2),
+           labels_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_cross_entropy_is_non_negative(self, logits, labels_seed):
+        rng = np.random.default_rng(labels_seed)
+        labels = rng.integers(0, logits.shape[1], size=logits.shape[0])
+        assert SoftmaxCrossEntropy().forward(logits, labels) >= 0.0
+
+    @given(labels_seed=st.integers(0, 2**31 - 1), n=st.integers(1, 8),
+           k=st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_one_hot_rows_sum_to_one(self, labels_seed, n, k):
+        rng = np.random.default_rng(labels_seed)
+        labels = rng.integers(0, k, size=n)
+        encoded = one_hot(labels, k)
+        np.testing.assert_array_equal(encoded.sum(axis=1), np.ones(n))
+        np.testing.assert_array_equal(np.argmax(encoded, axis=1), labels)
+
+
+class TestNetworkProperties:
+    @given(x=npst.arrays(np.float64, st.tuples(st.integers(1, 6), st.just(7)),
+                         elements=st.floats(0.0, 1.0)))
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_are_valid_classes(self, x):
+        network = NeuralNetwork.mlp([7, 6, 2], random_state=0)
+        predictions = network.predict(x)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    @given(x=npst.arrays(np.float64, st.tuples(st.integers(1, 6), st.just(7)),
+                         elements=st.floats(0.0, 1.0)))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_sum_to_one(self, x):
+        network = NeuralNetwork.mlp([7, 5, 2], random_state=1)
+        probs = network.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(x=npst.arrays(np.float64, st.tuples(st.just(3), st.just(7)),
+                         elements=st.floats(0.0, 1.0)))
+    @settings(max_examples=20, deadline=None)
+    def test_binary_jacobian_rows_cancel(self, x):
+        network = NeuralNetwork.mlp([7, 5, 2], random_state=2)
+        jacobian = network.class_gradients(x)
+        np.testing.assert_allclose(jacobian.sum(axis=1), 0.0, atol=1e-10)

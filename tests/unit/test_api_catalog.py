@@ -1,0 +1,110 @@
+"""Tests for the 491-API catalog (Table III alignment)."""
+
+import pytest
+
+from repro.apilog.api_catalog import (
+    TABLE_III_EXCERPT,
+    TABLE_III_START_INDEX,
+    ApiCatalog,
+    build_catalog,
+    default_catalog,
+)
+from repro.config import N_FEATURES
+from repro.exceptions import ConfigurationError
+
+
+class TestCanonicalCatalog:
+    def test_has_491_entries(self):
+        assert len(default_catalog()) == N_FEATURES
+
+    def test_names_are_sorted(self):
+        names = list(default_catalog().names)
+        assert names == sorted(names)
+
+    def test_names_are_unique(self):
+        names = default_catalog().names
+        assert len(names) == len(set(names))
+
+    def test_names_are_lowercase(self):
+        assert all(name == name.lower() for name in default_catalog())
+
+    def test_table3_excerpt_matches_paper_verbatim(self):
+        catalog = default_catalog()
+        excerpt = catalog.excerpt(TABLE_III_START_INDEX,
+                                  TABLE_III_START_INDEX + len(TABLE_III_EXCERPT))
+        assert tuple(name for _, name in excerpt) == TABLE_III_EXCERPT
+
+    def test_waitmessage_is_at_index_475(self):
+        assert default_catalog().name_of(475) == "waitmessage"
+
+    def test_writeprofilestringa_is_at_index_484(self):
+        assert default_catalog().name_of(484) == "writeprofilestringa"
+
+    def test_known_malware_apis_present(self):
+        catalog = default_catalog()
+        for api in ("writeprocessmemory", "createremotethread", "virtualallocex",
+                    "winexec", "writefile"):
+            assert api in catalog
+
+    def test_build_is_deterministic(self):
+        assert build_catalog().names == build_catalog().names
+
+    def test_default_catalog_is_cached(self):
+        assert default_catalog() is default_catalog()
+
+
+class TestCatalogLookups:
+    def test_index_of_round_trips(self):
+        catalog = default_catalog()
+        for index in (0, 100, 475, 490):
+            assert catalog.index_of(catalog.name_of(index)) == index
+
+    def test_index_of_is_case_insensitive(self):
+        catalog = default_catalog()
+        assert catalog.index_of("WriteProcessMemory") == catalog.index_of("writeprocessmemory")
+
+    def test_index_of_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            default_catalog().index_of("notarealapi123")
+
+    def test_monitored_predicate(self):
+        catalog = default_catalog()
+        assert catalog.monitored("writefile")
+        assert not catalog.monitored("unmonitored_api")
+
+    def test_contains_operator(self):
+        assert "writefile" in default_catalog()
+        assert "unmonitored_api" not in default_catalog()
+
+    def test_indices_of_skips_unknown(self):
+        catalog = default_catalog()
+        indices = catalog.indices_of(["writefile", "unmonitored_api", "winexec"])
+        assert len(indices) == 2
+
+    def test_iteration_yields_all_names(self):
+        catalog = default_catalog()
+        assert len(list(catalog)) == len(catalog)
+
+
+class TestCatalogConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApiCatalog(("a", "a", "b"))
+
+    def test_unsorted_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApiCatalog(("b", "a"))
+
+    def test_reduced_catalog_size(self):
+        small = build_catalog(n_features=64)
+        assert len(small) == 64
+
+    def test_reduced_catalog_is_sorted_and_unique(self):
+        small = build_catalog(n_features=100)
+        names = list(small.names)
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_oversized_catalog_request_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_catalog(n_features=10_000)

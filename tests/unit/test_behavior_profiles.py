@@ -1,0 +1,135 @@
+"""Tests for the behaviour-profile library."""
+
+import numpy as np
+import pytest
+
+from repro.apilog.api_catalog import default_catalog
+from repro.apilog.behavior_profiles import (
+    ApiUsage,
+    BehaviorGroup,
+    BehaviorProfile,
+    ProfileLibrary,
+    default_profile_library,
+)
+from repro.config import CLASS_CLEAN, CLASS_MALWARE
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaultLibrary:
+    def test_contains_both_classes(self):
+        library = default_profile_library()
+        assert library.for_label(CLASS_CLEAN)
+        assert library.for_label(CLASS_MALWARE)
+
+    def test_profile_names_are_unique(self):
+        library = default_profile_library()
+        names = [p.name for p in library]
+        assert len(names) == len(set(names))
+
+    def test_has_novel_families_for_both_classes(self):
+        library = default_profile_library()
+        novel = [p for p in library if p.novel]
+        assert any(p.label == CLASS_MALWARE for p in novel)
+        assert any(p.label == CLASS_CLEAN for p in novel)
+
+    def test_for_label_excludes_novel_by_default(self):
+        library = default_profile_library()
+        assert all(not p.novel for p in library.for_label(CLASS_MALWARE))
+
+    def test_every_profile_api_is_in_the_catalog(self):
+        catalog = default_catalog()
+        library = default_profile_library()
+        missing = {api for profile in library for api in profile.api_names()
+                   if not catalog.monitored(api)}
+        assert missing == set(), f"profile APIs missing from the catalog: {sorted(missing)}"
+
+    def test_malware_profiles_use_malicious_apis(self):
+        library = default_profile_library()
+        injector = library.by_name("malware_trojan_injector")
+        assert "writeprocessmemory" in injector.api_names()
+
+    def test_by_name_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_profile_library().by_name("nonexistent_family")
+
+
+class TestSampling:
+    def test_sample_counts_are_non_negative_ints(self):
+        rng = np.random.default_rng(0)
+        profile = default_profile_library().by_name("malware_ransomware")
+        counts = profile.sample_counts(rng)
+        assert all(isinstance(v, int) and v >= 0 for v in counts.values())
+
+    def test_sampling_is_stochastic_but_seeded(self):
+        profile = default_profile_library().by_name("clean_gui_utility")
+        a = profile.sample_counts(np.random.default_rng(5))
+        b = profile.sample_counts(np.random.default_rng(5))
+        c = profile.sample_counts(np.random.default_rng(6))
+        assert a == b
+        assert a != c
+
+    def test_intensity_scales_expected_volume(self):
+        profile = default_profile_library().by_name("clean_installer")
+        rng_low = np.random.default_rng(1)
+        rng_high = np.random.default_rng(1)
+        low = sum(profile.sample_counts(rng_low, intensity=0.5).values())
+        high = sum(profile.sample_counts(rng_high, intensity=2.0).values())
+        assert high > low
+
+    def test_invalid_intensity_rejected(self):
+        profile = default_profile_library().by_name("clean_installer")
+        with pytest.raises(ConfigurationError):
+            profile.sample_counts(np.random.default_rng(0), intensity=0.0)
+
+    def test_sample_profile_respects_label(self):
+        library = default_profile_library()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert library.sample_profile(CLASS_MALWARE, rng).label == CLASS_MALWARE
+            assert library.sample_profile(CLASS_CLEAN, rng).label == CLASS_CLEAN
+
+    def test_novel_probability_zero_never_draws_novel(self):
+        library = default_profile_library()
+        rng = np.random.default_rng(0)
+        draws = [library.sample_profile(CLASS_MALWARE, rng, include_novel=True,
+                                        novel_probability=0.0) for _ in range(30)]
+        assert all(not p.novel for p in draws)
+
+    def test_novel_probability_one_always_draws_novel(self):
+        library = default_profile_library()
+        rng = np.random.default_rng(0)
+        draws = [library.sample_profile(CLASS_MALWARE, rng, include_novel=True,
+                                        novel_probability=1.0) for _ in range(10)]
+        assert all(p.novel for p in draws)
+
+
+class TestValidation:
+    def test_api_usage_requires_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            ApiUsage(api="writefile", mean_count=0.0)
+
+    def test_group_probability_must_be_fraction(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorGroup(name="bad", activation_probability=1.5,
+                          usages=(ApiUsage("writefile", 1.0),))
+
+    def test_group_requires_usages(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorGroup(name="empty", activation_probability=0.5, usages=())
+
+    def test_profile_requires_valid_label(self):
+        group = BehaviorGroup(name="g", activation_probability=1.0,
+                              usages=(ApiUsage("writefile", 1.0),))
+        with pytest.raises(ConfigurationError):
+            BehaviorProfile(name="p", label=3, groups=(group,))
+
+    def test_library_rejects_duplicate_names(self):
+        group = BehaviorGroup(name="g", activation_probability=1.0,
+                              usages=(ApiUsage("writefile", 1.0),))
+        profile = BehaviorProfile(name="dup", label=0, groups=(group,))
+        with pytest.raises(ConfigurationError):
+            ProfileLibrary((profile, profile))
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProfileLibrary(())

@@ -1,0 +1,50 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import available_experiments
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "table3"])
+        assert args.scale == "small"
+        assert args.seed == 0
+        assert args.out is None
+
+    def test_scale_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table3", "--scale", "huge"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in available_experiments():
+            assert experiment_id in output
+
+    def test_run_light_experiment_prints_rendering(self, capsys, tmp_path):
+        code = main(["run", "table3", "--scale", "tiny", "--seed", "3",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "waitmessage" in output
+        assert (tmp_path / "table3.txt").exists()
+
+    def test_run_table1_at_tiny_scale(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Tests for the perturbation constraint set (the add-only threat model)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.exceptions import AttackError
+
+
+class TestConstruction:
+    def test_defaults_match_paper_operating_point(self):
+        constraints = PerturbationConstraints()
+        assert constraints.theta == pytest.approx(0.1)
+        assert constraints.gamma == pytest.approx(0.025)
+        assert constraints.add_only
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(AttackError):
+            PerturbationConstraints(theta=-0.1)
+
+    def test_gamma_above_one_rejected(self):
+        with pytest.raises(Exception):
+            PerturbationConstraints(gamma=1.5)
+
+    def test_invalid_box_rejected(self):
+        with pytest.raises(AttackError):
+            PerturbationConstraints(clip_min=1.0, clip_max=0.0)
+
+    def test_empty_feature_mask_rejected(self):
+        with pytest.raises(AttackError):
+            PerturbationConstraints(feature_mask=np.zeros(5, dtype=bool))
+
+
+class TestBudget:
+    def test_paper_gamma_0025_is_12_features(self):
+        assert PerturbationConstraints(gamma=0.025).max_features(491) == 12
+
+    def test_paper_gamma_0005_is_2_features(self):
+        assert PerturbationConstraints(gamma=0.005).max_features(491) == 2
+
+    def test_gamma_zero_is_zero_features(self):
+        assert PerturbationConstraints(gamma=0.0).max_features(491) == 0
+
+    def test_modifiable_mask_defaults_to_all(self):
+        assert PerturbationConstraints().modifiable_mask(10).all()
+
+    def test_modifiable_mask_dimension_checked(self):
+        constraints = PerturbationConstraints(feature_mask=np.ones(5, dtype=bool))
+        with pytest.raises(AttackError):
+            constraints.modifiable_mask(6)
+
+
+class TestProjection:
+    def test_project_enforces_box(self):
+        constraints = PerturbationConstraints()
+        original = np.zeros((1, 4))
+        adversarial = np.array([[1.5, -0.5, 0.3, 0.9]])
+        projected = constraints.project(adversarial, original)
+        assert projected.min() >= 0.0
+        assert projected.max() <= 1.0
+
+    def test_project_enforces_add_only(self):
+        constraints = PerturbationConstraints(add_only=True)
+        original = np.full((1, 3), 0.5)
+        adversarial = np.array([[0.2, 0.5, 0.9]])
+        projected = constraints.project(adversarial, original)
+        np.testing.assert_allclose(projected, [[0.5, 0.5, 0.9]])
+
+    def test_project_respects_feature_mask(self):
+        mask = np.array([True, False, True])
+        constraints = PerturbationConstraints(feature_mask=mask)
+        original = np.zeros((1, 3))
+        adversarial = np.full((1, 3), 0.4)
+        projected = constraints.project(adversarial, original)
+        np.testing.assert_allclose(projected, [[0.4, 0.0, 0.4]])
+
+    def test_project_without_add_only_allows_decrease(self):
+        constraints = PerturbationConstraints(add_only=False)
+        original = np.full((1, 2), 0.5)
+        adversarial = np.array([[0.2, 0.7]])
+        np.testing.assert_allclose(constraints.project(adversarial, original),
+                                   adversarial)
+
+    def test_project_shape_mismatch_rejected(self):
+        constraints = PerturbationConstraints()
+        with pytest.raises(AttackError):
+            constraints.project(np.zeros((1, 3)), np.zeros((1, 4)))
+
+
+class TestFeasibility:
+    def test_untouched_input_is_feasible(self):
+        constraints = PerturbationConstraints()
+        x = np.random.default_rng(0).random((3, 10))
+        assert constraints.is_feasible(x, x)
+
+    def test_small_addition_is_feasible(self):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.5)
+        original = np.zeros((1, 10))
+        adversarial = original.copy()
+        adversarial[0, 3] = 0.1
+        assert constraints.is_feasible(adversarial, original)
+
+    def test_feature_removal_is_infeasible(self):
+        constraints = PerturbationConstraints()
+        original = np.full((1, 10), 0.5)
+        adversarial = original.copy()
+        adversarial[0, 0] = 0.3
+        assert not constraints.is_feasible(adversarial, original)
+
+    def test_budget_violation_is_infeasible(self):
+        constraints = PerturbationConstraints(gamma=0.1)  # 1 feature out of 10
+        original = np.zeros((1, 10))
+        adversarial = original.copy()
+        adversarial[0, :3] = 0.1
+        assert not constraints.is_feasible(adversarial, original)
+
+    def test_out_of_box_is_infeasible(self):
+        constraints = PerturbationConstraints()
+        original = np.zeros((1, 5))
+        adversarial = original.copy()
+        adversarial[0, 0] = 1.2
+        assert not constraints.is_feasible(adversarial, original)
+
+    def test_masked_feature_change_is_infeasible(self):
+        mask = np.array([True, False, True, True])
+        constraints = PerturbationConstraints(feature_mask=mask, gamma=1.0)
+        original = np.zeros((1, 4))
+        adversarial = original.copy()
+        adversarial[0, 1] = 0.2
+        assert not constraints.is_feasible(adversarial, original)
+
+
+class TestWithStrength:
+    def test_with_strength_overrides_only_requested(self):
+        base = PerturbationConstraints(theta=0.1, gamma=0.025, add_only=True)
+        changed = base.with_strength(gamma=0.01)
+        assert changed.gamma == pytest.approx(0.01)
+        assert changed.theta == pytest.approx(0.1)
+        assert changed.add_only
+        assert base.gamma == pytest.approx(0.025)

@@ -1,0 +1,152 @@
+"""Tests for the Dataset container and splitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.config import CLASS_CLEAN, CLASS_MALWARE
+from repro.data.dataset import Dataset
+from repro.data.splits import stratified_split, train_validation_split
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(0)
+    features = rng.random((40, 6))
+    labels = np.array([0] * 25 + [1] * 15)
+    return Dataset(features=features, labels=labels, name="unit",
+                   sample_ids=[f"s{i}" for i in range(40)],
+                   families=[f"fam{i % 3}" for i in range(40)],
+                   os_versions=["win7"] * 40)
+
+
+class TestDatasetBasics:
+    def test_counts(self, dataset):
+        assert dataset.n_samples == 40
+        assert dataset.n_features == 6
+        assert len(dataset) == 40
+
+    def test_class_counts(self, dataset):
+        assert dataset.class_counts() == {"clean": 25, "malware": 15}
+
+    def test_summary_mentions_counts(self, dataset):
+        assert "25 clean" in dataset.summary()
+        assert "15 malware" in dataset.summary()
+
+    def test_label_feature_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            Dataset(features=np.zeros((3, 2)), labels=np.array([0, 1]))
+
+    def test_metadata_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(features=np.zeros((3, 2)), labels=np.array([0, 1, 0]),
+                    sample_ids=["a", "b"])
+
+
+class TestSubsetting:
+    def test_subset_selects_rows_and_metadata(self, dataset):
+        sub = dataset.subset([0, 5, 10], name="sub")
+        assert sub.n_samples == 3
+        assert sub.sample_ids == ["s0", "s5", "s10"]
+        np.testing.assert_array_equal(sub.features[1], dataset.features[5])
+
+    def test_subset_out_of_range_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.subset([0, 99])
+
+    def test_subset_empty_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.subset([])
+
+    def test_of_class_filters(self, dataset):
+        malware = dataset.malware_only()
+        assert np.all(malware.labels == CLASS_MALWARE)
+        assert malware.n_samples == 15
+
+    def test_clean_only(self, dataset):
+        assert np.all(dataset.clean_only().labels == CLASS_CLEAN)
+
+    def test_of_class_missing_raises(self):
+        single = Dataset(features=np.zeros((2, 2)), labels=np.array([0, 0]))
+        with pytest.raises(DatasetError):
+            single.malware_only()
+
+    def test_sample_stratified_keeps_both_classes(self, dataset):
+        sub = dataset.sample(10, random_state=0)
+        assert sub.n_samples == 10
+        assert len(np.unique(sub.labels)) == 2
+
+    def test_sample_too_large_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.sample(41)
+
+    def test_shuffled_preserves_content(self, dataset):
+        shuffled = dataset.shuffled(random_state=1)
+        assert shuffled.n_samples == dataset.n_samples
+        assert sorted(shuffled.sample_ids) == sorted(dataset.sample_ids)
+
+
+class TestCombination:
+    def test_concatenate(self, dataset):
+        combined = Dataset.concatenate([dataset, dataset], name="double")
+        assert combined.n_samples == 80
+        assert combined.sample_ids[:40] == dataset.sample_ids
+
+    def test_concatenate_feature_mismatch_rejected(self, dataset):
+        other = Dataset(features=np.zeros((2, 3)), labels=np.array([0, 1]))
+        with pytest.raises(DatasetError):
+            Dataset.concatenate([dataset, other])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset.concatenate([])
+
+    def test_concatenate_drops_metadata_when_missing(self, dataset):
+        bare = Dataset(features=np.zeros((2, 6)), labels=np.array([0, 1]))
+        combined = Dataset.concatenate([dataset, bare])
+        assert combined.sample_ids is None
+
+    def test_with_features_replaces_matrix(self, dataset):
+        replaced = dataset.with_features(dataset.features + 0.1, name="adv")
+        assert replaced.name == "adv"
+        np.testing.assert_array_equal(replaced.labels, dataset.labels)
+        assert not np.allclose(replaced.features, dataset.features)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, dataset):
+        dataset.save(tmp_path / "ds")
+        restored = Dataset.load(tmp_path / "ds")
+        np.testing.assert_allclose(restored.features, dataset.features)
+        np.testing.assert_array_equal(restored.labels, dataset.labels)
+        assert restored.sample_ids == dataset.sample_ids
+        assert restored.name == dataset.name
+
+
+class TestSplits:
+    def test_stratified_split_preserves_balance(self, dataset):
+        first, second = stratified_split(dataset, 0.6, random_state=0)
+        assert first.n_samples + second.n_samples == dataset.n_samples
+        ratio_first = np.mean(first.labels == 1)
+        ratio_all = np.mean(dataset.labels == 1)
+        assert abs(ratio_first - ratio_all) < 0.1
+
+    def test_stratified_split_no_overlap(self, dataset):
+        first, second = stratified_split(dataset, 0.5, random_state=0)
+        assert set(first.sample_ids).isdisjoint(second.sample_ids)
+
+    def test_stratified_split_is_seeded(self, dataset):
+        a1, _ = stratified_split(dataset, 0.5, random_state=5)
+        a2, _ = stratified_split(dataset, 0.5, random_state=5)
+        assert a1.sample_ids == a2.sample_ids
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(Exception):
+            stratified_split(dataset, 0.0)
+
+    def test_train_validation_split_names(self, dataset):
+        train, val = train_validation_split(dataset, validation_fraction=0.25,
+                                            random_state=0)
+        assert train.name == "train"
+        assert val.name == "validation"
+        assert val.n_samples < train.n_samples

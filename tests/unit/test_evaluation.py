@@ -1,0 +1,187 @@
+"""Tests for security curves, L2 distance analysis and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.attacks.random_noise import RandomAdditionAttack
+from repro.evaluation.distances import DistanceReport, l2_distance_report, mean_pairwise_l2, paired_l2
+from repro.evaluation.reports import format_table, render_defense_table, render_security_curve
+from repro.evaluation.security_curve import (
+    PAPER_GAMMA_GRID,
+    PAPER_THETA_GRID,
+    gamma_sweep,
+    paper_gamma_grid,
+    paper_theta_grid,
+    theta_sweep,
+)
+from repro.exceptions import AttackError, ShapeError
+
+
+class TestPaperGrids:
+    def test_gamma_grid_matches_figure3a(self):
+        np.testing.assert_allclose(PAPER_GAMMA_GRID,
+                                   [0.0, 0.005, 0.01, 0.015, 0.02, 0.025, 0.03])
+
+    def test_theta_grid_matches_figure3b(self):
+        assert len(PAPER_THETA_GRID) == 13
+        assert PAPER_THETA_GRID[0] == pytest.approx(0.0)
+        assert PAPER_THETA_GRID[-1] == pytest.approx(0.15)
+
+    def test_subsampled_grids_keep_endpoints(self):
+        grid = paper_gamma_grid(4)
+        assert grid[0] == pytest.approx(0.0)
+        assert grid[-1] == pytest.approx(0.03)
+        assert len(grid) == 4
+        theta = paper_theta_grid(5)
+        assert theta[-1] == pytest.approx(0.15)
+        assert len(theta) == 5
+
+    def test_oversampled_request_returns_full_grid(self):
+        assert len(paper_gamma_grid(100)) == len(PAPER_GAMMA_GRID)
+
+
+class TestSweeps:
+    def _gamma_curve(self, context, malware, points=(0.0, 0.01, 0.02)):
+        target = context.target_model
+        return gamma_sweep(
+            lambda constraints: JsmaAttack(target.network, constraints=constraints),
+            malware.features, {"target": target.network},
+            theta=0.1, gamma_values=points)
+
+    def test_curve_has_one_point_per_strength(self, tiny_context, tiny_malware):
+        curve = self._gamma_curve(tiny_context, tiny_malware)
+        assert len(curve.points) == 3
+        assert curve.strengths() == [0.0, 0.01, 0.02]
+
+    def test_zero_strength_matches_baseline(self, tiny_context, tiny_malware):
+        curve = self._gamma_curve(tiny_context, tiny_malware)
+        baseline = tiny_context.target_model.detection_rate(tiny_malware.features)
+        assert curve.points[0].detection_rates["target"] == pytest.approx(baseline)
+
+    def test_detection_rates_decrease_overall(self, tiny_context, tiny_malware):
+        curve = self._gamma_curve(tiny_context, tiny_malware, points=(0.0, 0.03))
+        rates = curve.detection_rates("target")
+        assert rates[-1] < rates[0]
+
+    def test_n_perturbed_features_tracks_gamma(self, tiny_context, tiny_malware):
+        curve = self._gamma_curve(tiny_context, tiny_malware)
+        assert [p.n_perturbed_features for p in curve.points] == [0, 5, 10]
+
+    def test_theta_sweep_fixes_gamma(self, tiny_context, tiny_malware):
+        target = tiny_context.target_model
+        curve = theta_sweep(
+            lambda constraints: JsmaAttack(target.network, constraints=constraints),
+            tiny_malware.features, {"target": target.network},
+            gamma=0.01, theta_values=[0.0, 0.1])
+        assert all(p.gamma == pytest.approx(0.01) for p in curve.points)
+        assert curve.swept_parameter == "theta"
+
+    def test_multiple_models_tracked(self, tiny_context, tiny_malware):
+        target = tiny_context.target_model
+        substitute = tiny_context.substitute_model
+        curve = gamma_sweep(
+            lambda constraints: JsmaAttack(substitute.network, constraints=constraints,
+                                           early_stop=False),
+            tiny_malware.features,
+            {"substitute": substitute.network, "target": target.network},
+            theta=0.1, gamma_values=[0.0, 0.02])
+        assert set(curve.model_names()) == {"substitute", "target"}
+
+    def test_as_rows_structure(self, tiny_context, tiny_malware):
+        curve = self._gamma_curve(tiny_context, tiny_malware)
+        rows = curve.as_rows()
+        assert len(rows) == 3
+        assert "detection_rate[target]" in rows[0]
+
+    def test_empty_model_dict_rejected(self, tiny_context, tiny_malware):
+        with pytest.raises(AttackError):
+            gamma_sweep(lambda c: JsmaAttack(tiny_context.target_model.network, c),
+                        tiny_malware.features, {}, theta=0.1, gamma_values=[0.0])
+
+    def test_minimum_detection_rate(self, tiny_context, tiny_malware):
+        curve = self._gamma_curve(tiny_context, tiny_malware)
+        assert curve.minimum_detection_rate("target") == min(curve.detection_rates("target"))
+
+
+class TestDistances:
+    def test_paired_l2_known_value(self):
+        a = np.zeros((2, 3))
+        b = np.array([[3.0, 4.0, 0.0], [0.0, 0.0, 0.0]])
+        np.testing.assert_allclose(paired_l2(a, b), [5.0, 0.0])
+
+    def test_paired_l2_requires_same_rows(self):
+        with pytest.raises(ShapeError):
+            paired_l2(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_mean_pairwise_exact_small_case(self):
+        a = np.array([[0.0], [1.0]])
+        b = np.array([[0.0], [1.0]])
+        # pairs: 0,1,1,0 -> mean 0.5
+        assert mean_pairwise_l2(a, b) == pytest.approx(0.5)
+
+    def test_mean_pairwise_sampling_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((60, 5))
+        b = rng.random((50, 5))
+        exact = mean_pairwise_l2(a, b, max_pairs=10**9)
+        sampled = mean_pairwise_l2(a, b, max_pairs=500, random_state=0)
+        assert sampled == pytest.approx(exact, rel=0.1)
+
+    def test_distance_report_ordering_check(self):
+        report = DistanceReport(theta=0.1, gamma=0.02, malware_to_adversarial=0.2,
+                                malware_to_clean=0.5, clean_to_adversarial=0.6)
+        assert report.ordering_holds()
+        bad = DistanceReport(theta=0.1, gamma=0.02, malware_to_adversarial=0.9,
+                             malware_to_clean=0.5, clean_to_adversarial=0.6)
+        assert not bad.ordering_holds()
+
+    def test_l2_distance_report_from_attack(self, tiny_context, tiny_malware):
+        target = tiny_context.target_model
+        clean = tiny_context.corpus.test.clean_only().features
+        result = JsmaAttack(target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02)).run(
+            tiny_malware.features)
+        report = l2_distance_report(result.original, result.adversarial, clean,
+                                    theta=0.1, gamma=0.02)
+        assert report.malware_to_adversarial > 0.0
+        assert report.malware_to_clean > report.malware_to_adversarial
+        assert set(report.as_dict()) == {"theta", "gamma", "malware_to_adversarial",
+                                         "malware_to_clean", "clean_to_adversarial"}
+
+
+class TestReports:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["a", "longheader"], [[1, 2.34567], ["xy", float("nan")]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "longheader" in lines[0]
+        assert "2.346" in table
+        assert "nan" in table
+
+    def test_format_table_with_title(self):
+        table = format_table(["c"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_render_defense_table_contains_all_rows(self):
+        results = {
+            "no_defense": {"clean": {"tpr": float("nan"), "tnr": 0.96},
+                           "advex": {"tpr": 0.30, "tnr": float("nan")}},
+            "adv_training": {"advex": {"tpr": 0.93, "tnr": float("nan")}},
+        }
+        rendered = render_defense_table(results)
+        assert "no_defense" in rendered
+        assert "adv_training" in rendered
+        assert "0.930" in rendered
+
+    def test_render_security_curve(self, tiny_context, tiny_malware):
+        target = tiny_context.target_model
+        curve = gamma_sweep(
+            lambda constraints: RandomAdditionAttack(target.network, constraints,
+                                                     random_state=0),
+            tiny_malware.features, {"target": target.network},
+            theta=0.1, gamma_values=[0.0, 0.01])
+        rendered = render_security_curve(curve, title="control")
+        assert "control" in rendered
+        assert "detection[target]" in rendered

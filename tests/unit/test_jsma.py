@@ -1,0 +1,171 @@
+"""Tests for the add-only JSMA attack (the paper's core attack)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.config import CLASS_CLEAN
+from repro.exceptions import AttackError
+
+
+@pytest.fixture(scope="module")
+def whitebox_attack_inputs(request):
+    # Session fixtures are function-agnostic; resolve them via request.
+    target = request.getfixturevalue("tiny_target")
+    malware = request.getfixturevalue("tiny_malware")
+    return target, malware
+
+
+class TestJsmaMechanics:
+    def test_result_shapes(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.01))
+        result = attack.run(tiny_malware.features)
+        assert result.adversarial.shape == result.original.shape
+        assert result.perturbed_features.shape == (tiny_malware.n_samples,)
+
+    def test_respects_constraints(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02)
+        attack = JsmaAttack(tiny_target.network, constraints)
+        result = attack.run(tiny_malware.features)
+        assert constraints.is_feasible(result.adversarial, result.original)
+
+    def test_add_only_never_decreases_features(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.03))
+        result = attack.run(tiny_malware.features)
+        assert np.all(result.adversarial >= result.original - 1e-12)
+
+    def test_feature_budget_respected(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.01)
+        budget = constraints.max_features(tiny_malware.n_features)
+        result = JsmaAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        assert result.perturbed_features.max() <= budget
+
+    def test_zero_gamma_is_identity(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.0))
+        result = attack.run(tiny_malware.features)
+        np.testing.assert_array_equal(result.adversarial, result.original)
+
+    def test_zero_theta_is_identity(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.0, gamma=0.025))
+        result = attack.run(tiny_malware.features)
+        np.testing.assert_array_equal(result.adversarial, result.original)
+
+    def test_features_stay_in_unit_box(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.5, gamma=0.05))
+        result = attack.run(tiny_malware.features)
+        assert result.adversarial.min() >= 0.0
+        assert result.adversarial.max() <= 1.0
+
+    def test_attack_is_deterministic(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02)
+        a = JsmaAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        b = JsmaAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        np.testing.assert_array_equal(a.adversarial, b.adversarial)
+
+    def test_invalid_target_class_rejected(self, tiny_target):
+        with pytest.raises(AttackError):
+            JsmaAttack(tiny_target.network, target_class=3)
+
+
+class TestJsmaEffectiveness:
+    def test_detection_rate_drops_at_paper_operating_point(self, tiny_target, tiny_malware):
+        baseline = tiny_target.detection_rate(tiny_malware.features)
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.025))
+        result = attack.run(tiny_malware.features)
+        assert result.detection_rate < baseline - 0.3
+
+    def test_stronger_attack_is_at_least_as_effective(self, tiny_target, tiny_malware):
+        weak = JsmaAttack(tiny_target.network,
+                          PerturbationConstraints(theta=0.1, gamma=0.005))
+        strong = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.03))
+        weak_rate = weak.run(tiny_malware.features).detection_rate
+        strong_rate = strong.run(tiny_malware.features).detection_rate
+        assert strong_rate <= weak_rate + 0.05
+
+    def test_early_stop_touches_no_more_features_than_full_budget(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.03)
+        stopped = JsmaAttack(tiny_target.network, constraints, early_stop=True)
+        full = JsmaAttack(tiny_target.network, constraints, early_stop=False)
+        assert (stopped.run(tiny_malware.features).mean_perturbed_features
+                <= full.run(tiny_malware.features).mean_perturbed_features + 1e-9)
+
+    def test_simplified_gradient_variant_also_attacks(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.025),
+                            use_saliency_map=False)
+        result = attack.run(tiny_malware.features)
+        baseline = tiny_target.detection_rate(tiny_malware.features)
+        assert result.detection_rate < baseline
+
+    def test_feature_mask_restricts_choices(self, tiny_target, tiny_malware):
+        mask = np.zeros(tiny_malware.n_features, dtype=bool)
+        mask[:50] = True
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02, feature_mask=mask)
+        result = JsmaAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        changed = np.abs(result.adversarial - result.original) > 1e-12
+        assert not changed[:, 50:].any()
+
+
+class TestSelectFeatures:
+    def test_select_features_shape(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network)
+        selected = attack.select_features(tiny_malware.features[:5], top_k=3)
+        assert selected.shape == (5, 3)
+
+    def test_selected_features_are_valid_indices(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network)
+        selected = attack.select_features(tiny_malware.features[:5], top_k=2)
+        assert selected.min() >= 0
+        assert selected.max() < tiny_malware.n_features
+
+    def test_top1_matches_first_perturbed_feature(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=1.0 / tiny_malware.n_features)
+        attack = JsmaAttack(tiny_target.network, constraints, early_stop=False)
+        row = tiny_malware.features[:1]
+        selected = attack.select_features(row, top_k=1)[0, 0]
+        result = attack.run(row)
+        changed = np.flatnonzero(np.abs(result.adversarial[0] - result.original[0]) > 1e-12)
+        assert selected in changed
+
+    def test_invalid_top_k_rejected(self, tiny_target, tiny_malware):
+        with pytest.raises(AttackError):
+            JsmaAttack(tiny_target.network).select_features(tiny_malware.features[:1], top_k=0)
+
+
+class TestAttackResult:
+    def test_summary_contains_operating_point(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.01)
+        result = JsmaAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        summary = result.summary()
+        assert summary["theta"] == pytest.approx(0.1)
+        assert summary["gamma"] == pytest.approx(0.01)
+        assert 0.0 <= summary["detection_rate"] <= 1.0
+
+    def test_evasion_and_detection_are_complementary(self, tiny_target, tiny_malware):
+        result = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02)).run(
+            tiny_malware.features)
+        assert result.evasion_rate + result.detection_rate == pytest.approx(1.0)
+
+    def test_l2_distances_nonzero_when_perturbed(self, tiny_target, tiny_malware):
+        result = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02)).run(
+            tiny_malware.features)
+        perturbed = result.perturbed_features > 0
+        assert np.all(result.l2_distances[perturbed] > 0)
+
+    def test_transfer_rate_to_other_model(self, tiny_target, tiny_substitute, tiny_malware):
+        result = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02),
+                            early_stop=False).run(tiny_malware.features)
+        transfer = result.transfer_rate_to(tiny_target.network)
+        detection = result.detection_rate_under(tiny_target.network)
+        assert transfer == pytest.approx(1.0 - detection)

@@ -1,0 +1,90 @@
+"""Tests for the Table II log format (render + parse round trip)."""
+
+import pytest
+
+from repro.apilog.log_format import ApiLog, LogRecord, format_line, parse_line
+from repro.exceptions import SandboxError
+
+
+class TestFormatLine:
+    def test_matches_table2_shape(self):
+        record = LogRecord(api="GetFileType", address=0x7FEFDD39D0C, args=(),
+                           thread_id=61468)
+        assert format_line(record) == 'GetFileType:7FEFDD39D0C ()"61468"'
+
+    def test_arguments_are_comma_joined(self):
+        record = LogRecord(api="GetProcAddress", address=0x13FBC34D6,
+                           args=("76D30000", '"FlsAlloc"'), thread_id=61484)
+        assert format_line(record) == 'GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"'
+
+
+class TestParseLine:
+    def test_parses_table2_examples(self):
+        record = parse_line('GetStartupInfoW:7FEFDD39C37 ()"61468"')
+        assert record.api == "GetStartupInfoW"
+        assert record.address == 0x7FEFDD39C37
+        assert record.args == ()
+        assert record.thread_id == 61468
+
+    def test_parses_arguments(self):
+        record = parse_line('GetProcAddress:13FBC34D6 (76D30000,"FlsAlloc")"61484"')
+        assert record.args == ("76D30000", '"FlsAlloc"')
+
+    def test_round_trip(self):
+        original = LogRecord(api="WriteFile", address=0x13FBC4707,
+                             args=("3C",), thread_id=1234)
+        assert parse_line(format_line(original)) == original
+
+    def test_leading_whitespace_tolerated(self):
+        assert parse_line('  GetCPInfo:13FBC263D ()"61484"').api == "GetCPInfo"
+
+    @pytest.mark.parametrize("line", [
+        "", "garbage", "NoAddress ()\"1\"", "Api:XYZ ()\"1\"", "Api:1F (unclosed\"1\"",
+    ])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(SandboxError):
+            parse_line(line)
+
+    def test_canonical_api_lowercases(self):
+        assert parse_line('WriteFile:1F ()"1"').canonical_api() == "writefile"
+
+
+class TestApiLog:
+    def _make_log(self):
+        log = ApiLog(sample_id="s1", os_version="win7", label=1)
+        log.append(LogRecord("GetFileType", 0x10, (), 1))
+        log.append(LogRecord("WriteFile", 0x20, (), 1))
+        log.append(LogRecord("writefile", 0x30, (), 2))
+        return log
+
+    def test_len_and_iteration(self):
+        log = self._make_log()
+        assert len(log) == 3
+        assert len(list(log)) == 3
+
+    def test_api_counts_are_case_insensitive(self):
+        counts = self._make_log().api_counts()
+        assert counts["writefile"] == 2
+        assert counts["getfiletype"] == 1
+
+    def test_api_names_in_call_order(self):
+        assert self._make_log().api_names() == ["getfiletype", "writefile", "writefile"]
+
+    def test_text_round_trip(self):
+        log = self._make_log()
+        restored = ApiLog.from_text(log.to_text(), sample_id="s1",
+                                    os_version="win7", label=1)
+        assert restored.api_counts() == log.api_counts()
+        assert len(restored) == len(log)
+
+    def test_from_text_skips_blank_lines(self):
+        text = 'WriteFile:1F ()"1"\n\n\nReadFile:2F ()"1"\n'
+        assert len(ApiLog.from_text(text)) == 2
+
+    def test_head_returns_prefix_copy(self):
+        log = self._make_log()
+        head = log.head(2)
+        assert len(head) == 2
+        assert head.sample_id == log.sample_id
+        head.append(LogRecord("ReadFile", 0x40, (), 1))
+        assert len(log) == 3

@@ -1,0 +1,94 @@
+"""Tests for the target / substitute detector models."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY_PROFILE, N_FEATURES
+from repro.models.base import DetectorModel
+from repro.models.factory import (
+    build_substitute_network,
+    build_target_network,
+    train_binary_substitute_model,
+)
+from repro.models.substitute_model import SUBSTITUTE_LAYER_SIZES, SubstituteModel
+from repro.models.target_model import TARGET_LAYER_SIZES, TargetModel
+
+
+class TestArchitectures:
+    def test_target_paper_architecture_has_four_node_layers(self):
+        assert len(TARGET_LAYER_SIZES) == 4
+        assert TARGET_LAYER_SIZES[0] == N_FEATURES
+        assert TARGET_LAYER_SIZES[-1] == 2
+
+    def test_substitute_paper_architecture_matches_table4(self):
+        assert SUBSTITUTE_LAYER_SIZES == (491, 1200, 1500, 1300, 2)
+
+    def test_target_for_scale_shrinks_hidden_layers(self):
+        model = TargetModel.for_scale(TINY_PROFILE, random_state=0)
+        sizes = model.network.layer_sizes
+        assert sizes[0] == N_FEATURES
+        assert sizes[-1] == 2
+        assert sizes[1] < TARGET_LAYER_SIZES[1]
+
+    def test_substitute_for_scale_keeps_depth(self):
+        model = SubstituteModel.for_scale(TINY_PROFILE, random_state=0)
+        assert len(model.network.layer_sizes) == len(SUBSTITUTE_LAYER_SIZES)
+
+    def test_factory_builders_use_default_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        target = build_target_network()
+        substitute = build_substitute_network()
+        assert target.network.layer_sizes[0] == N_FEATURES
+        assert substitute.network.layer_sizes[0] == N_FEATURES
+
+    def test_table4_rows_mention_all_layers(self):
+        rows = SubstituteModel.table4_rows()
+        layer_rows = [row for row in rows if "layer" in row[0]]
+        assert len(layer_rows) == 5
+
+
+class TestTrainedModels:
+    def test_target_beats_chance_on_validation(self, tiny_target, tiny_corpus):
+        report = tiny_target.report(tiny_corpus.validation)
+        assert report.accuracy > 0.8
+
+    def test_target_detects_most_malware(self, tiny_target, tiny_corpus):
+        report = tiny_target.report(tiny_corpus.test.malware_only())
+        assert report.tpr > 0.6
+
+    def test_target_clean_false_positives_are_limited(self, tiny_target, tiny_corpus):
+        report = tiny_target.report(tiny_corpus.test.clean_only())
+        assert report.tnr > 0.8
+
+    def test_substitute_agrees_with_target(self, tiny_target, tiny_substitute, tiny_corpus):
+        features = tiny_corpus.test.features
+        agreement = np.mean(tiny_target.predict(features)
+                            == tiny_substitute.predict(features))
+        assert agreement > 0.8
+
+    def test_malware_confidence_in_unit_interval(self, tiny_target, tiny_malware):
+        confidence = tiny_target.malware_confidence(tiny_malware.features)
+        assert confidence.min() >= 0.0
+        assert confidence.max() <= 1.0
+
+    def test_detection_rate_matches_prediction_mean(self, tiny_target, tiny_malware):
+        rate = tiny_target.detection_rate(tiny_malware.features)
+        assert rate == pytest.approx(np.mean(tiny_target.predict(tiny_malware.features) == 1))
+
+    def test_is_fitted_flag(self, tiny_target):
+        assert tiny_target.is_fitted
+        assert not TargetModel.for_scale(TINY_PROFILE, random_state=0).is_fitted
+
+    def test_save_load_round_trip(self, tmp_path, tiny_target, tiny_malware):
+        tiny_target.save(tmp_path / "target")
+        restored = DetectorModel.load(tmp_path / "target", name="restored")
+        np.testing.assert_array_equal(restored.predict(tiny_malware.features),
+                                      tiny_target.predict(tiny_malware.features))
+
+    def test_binary_substitute_trains_on_binary_features(self, tiny_context):
+        model, pipeline = train_binary_substitute_model(
+            tiny_context.generator, n_clean=40, n_malware=40,
+            scale=tiny_context.scale, random_state=0)
+        assert model.is_fitted
+        sample = pipeline.transform([{"writefile": 5, "winexec": 1}])
+        assert set(np.unique(sample)) <= {0.0, 1.0}

@@ -1,0 +1,219 @@
+"""Tests for activations, softmax (with temperature) and the losses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.activations import (
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+    softmax,
+    softmax_input_gradient,
+)
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, one_hot
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_is_shift_invariant(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_handles_extreme_logits_without_overflow(self):
+        probs = softmax(np.array([[1e4, -1e4]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_high_temperature_flattens_distribution(self):
+        logits = np.array([[4.0, 0.0]])
+        sharp = softmax(logits, temperature=1.0)
+        flat = softmax(logits, temperature=50.0)
+        assert flat[0, 0] < sharp[0, 0]
+        assert flat[0, 0] == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            softmax(np.zeros((1, 2)), temperature=0.0)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(4, 2))
+        temperature = 2.0
+        probs = softmax(logits, temperature=temperature)
+        grad = softmax_input_gradient(probs, class_index=0, temperature=temperature)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(2):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric = (softmax(plus, temperature=temperature)[i, 0]
+                           - softmax(minus, temperature=temperature)[i, 0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_masks_negatives(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_leaky_relu_keeps_scaled_negatives(self):
+        layer = LeakyReLU(0.1)
+        out = layer.forward(np.array([[-2.0, 2.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 2.0]])
+
+    def test_sigmoid_range_and_midpoint(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-50.0, 0.0, 50.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("activation_cls", [ReLU, Sigmoid, Tanh])
+    def test_backward_matches_finite_differences(self, activation_cls):
+        rng = np.random.default_rng(0)
+        layer = activation_cls()
+        x = rng.normal(size=(3, 4))
+        upstream = rng.normal(size=(3, 4))
+        layer.forward(x)
+        grad = layer.backward(upstream)
+        eps = 1e-6
+        for (i, j) in [(0, 0), (1, 2), (2, 3)]:
+            plus = x.copy(); plus[i, j] += eps
+            minus = x.copy(); minus[i, j] -= eps
+            numeric = ((layer.forward(plus) * upstream).sum()
+                       - (layer.forward(minus) * upstream).sum()) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_get_activation_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+
+    def test_get_activation_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_activation("swish")
+
+    def test_activations_preserve_dimension(self):
+        assert ReLU().output_dim(17) == 17
+        assert Tanh().output_dim(4) == 4
+
+
+class TestOneHot:
+    def test_encodes_labels(self):
+        encoded = one_hot(np.array([0, 1, 1]), 2)
+        np.testing.assert_array_equal(encoded, [[1, 0], [0, 1], [0, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([0, 3]), 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2)), 2)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-3
+
+    def test_uniform_prediction_loss_is_log2(self):
+        loss = SoftmaxCrossEntropy()
+        assert loss.forward(np.zeros((4, 2)), np.array([0, 1, 0, 1])) == pytest.approx(np.log(2))
+
+    def test_soft_targets_accepted(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((2, 2)), np.array([[0.5, 0.5], [0.9, 0.1]]))
+        assert np.isfinite(value)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 2))
+        labels = np.array([0, 1, 1, 0, 1])
+        loss = SoftmaxCrossEntropy(temperature=1.0)
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-6
+        for (i, j) in [(0, 0), (2, 1), (4, 0)]:
+            plus = logits.copy(); plus[i, j] += eps
+            minus = logits.copy(); minus[i, j] -= eps
+            numeric = (SoftmaxCrossEntropy().forward(plus, labels)
+                       - SoftmaxCrossEntropy().forward(minus, labels)) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_gradient_with_temperature_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 2))
+        labels = np.array([1, 0, 1])
+        temperature = 10.0
+        loss = SoftmaxCrossEntropy(temperature=temperature)
+        loss.forward(logits, labels)
+        grad = loss.backward()
+        eps = 1e-5
+        probe = SoftmaxCrossEntropy(temperature=temperature)
+        for (i, j) in [(0, 0), (1, 1), (2, 0)]:
+            plus = logits.copy(); plus[i, j] += eps
+            minus = logits.copy(); minus[i, j] -= eps
+            numeric = (probe.forward(plus, labels) - probe.forward(minus, labels)) / (2 * eps)
+            assert grad[i, j] == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+    def test_target_shape_mismatch_raises(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ShapeError):
+            loss.forward(np.zeros((2, 2)), np.array([0, 1, 1]))
+
+    def test_label_smoothing_increases_confident_loss(self):
+        logits = np.array([[12.0, -12.0]])
+        plain = SoftmaxCrossEntropy().forward(logits, np.array([0]))
+        smoothed = SoftmaxCrossEntropy(label_smoothing=0.1).forward(logits, np.array([0]))
+        assert smoothed > plain
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy(temperature=-1.0)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_identical_inputs(self):
+        loss = MeanSquaredError()
+        x = np.ones((3, 2))
+        assert loss.forward(x, x) == 0.0
+
+    def test_value_matches_definition(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == pytest.approx(2.5)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        outputs = rng.normal(size=(3, 2))
+        targets = rng.normal(size=(3, 2))
+        loss = MeanSquaredError()
+        loss.forward(outputs, targets)
+        grad = loss.backward()
+        eps = 1e-6
+        plus = outputs.copy(); plus[1, 1] += eps
+        minus = outputs.copy(); minus[1, 1] -= eps
+        numeric = (MeanSquaredError().forward(plus, targets)
+                   - MeanSquaredError().forward(minus, targets)) / (2 * eps)
+        assert grad[1, 1] == pytest.approx(numeric, rel=1e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().forward(np.zeros((2, 2)), np.zeros((2, 3)))

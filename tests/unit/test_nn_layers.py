@@ -1,0 +1,158 @@
+"""Tests for Dense / Dropout layers and Parameter."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.layers import Dense, Dropout, Parameter
+
+
+class TestParameter:
+    def test_grad_starts_at_zero(self):
+        param = Parameter("w", np.ones((2, 3)))
+        assert np.all(param.grad == 0.0)
+
+    def test_zero_grad_resets(self):
+        param = Parameter("w", np.ones((2, 2)))
+        param.grad += 5.0
+        param.zero_grad()
+        assert np.all(param.grad == 0.0)
+
+    def test_shape_property(self):
+        assert Parameter("b", np.zeros(4)).shape == (4,)
+
+
+class TestDenseForward:
+    def test_output_shape(self):
+        layer = Dense(5, 3, random_state=0)
+        out = layer.forward(np.zeros((7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_zero_input_returns_bias(self):
+        layer = Dense(4, 2, random_state=0)
+        layer.bias.value[:] = [1.0, -2.0]
+        out = layer.forward(np.zeros((3, 4)))
+        np.testing.assert_allclose(out, np.tile([1.0, -2.0], (3, 1)))
+
+    def test_linear_in_input(self):
+        layer = Dense(4, 2, random_state=0)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        np.testing.assert_allclose(layer.forward(2 * x) - layer.bias.value,
+                                   2 * (layer.forward(x) - layer.bias.value))
+
+    def test_rejects_wrong_input_dim(self):
+        layer = Dense(4, 2, random_state=0)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((3, 5)))
+
+    def test_rejects_non_positive_dims(self):
+        with pytest.raises(ShapeError):
+            Dense(0, 2)
+
+    def test_initialisation_is_seeded(self):
+        a = Dense(6, 4, random_state=3).weight.value
+        b = Dense(6, 4, random_state=3).weight.value
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDenseBackward:
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, random_state=0)
+        x = rng.normal(size=(6, 4))
+        upstream = rng.normal(size=(6, 3))
+
+        layer.forward(x)
+        grad_input = layer.backward(upstream)
+
+        eps = 1e-6
+        # weight gradient check (a couple of entries)
+        for (i, j) in [(0, 0), (2, 1), (3, 2)]:
+            original = layer.weight.value[i, j]
+            layer.weight.value[i, j] = original + eps
+            plus = float((layer.forward(x) * upstream).sum())
+            layer.weight.value[i, j] = original - eps
+            minus = float((layer.forward(x) * upstream).sum())
+            layer.weight.value[i, j] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert layer.weight.grad[i, j] == pytest.approx(numeric, rel=1e-4)
+
+        # input gradient check
+        for (i, j) in [(0, 0), (5, 3)]:
+            perturbed = x.copy()
+            perturbed[i, j] += eps
+            plus = float((layer.forward(perturbed) * upstream).sum())
+            perturbed[i, j] -= 2 * eps
+            minus = float((layer.forward(perturbed) * upstream).sum())
+            numeric = (plus - minus) / (2 * eps)
+            assert grad_input[i, j] == pytest.approx(numeric, rel=1e-4)
+
+    def test_bias_gradient_is_column_sum(self):
+        layer = Dense(3, 2, random_state=0)
+        upstream = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.forward(np.zeros((2, 3)))
+        layer.backward(upstream)
+        np.testing.assert_allclose(layer.bias.grad, [4.0, 6.0])
+
+    def test_gradients_accumulate_across_backward_calls(self):
+        layer = Dense(3, 2, random_state=0)
+        x = np.ones((2, 3))
+        upstream = np.ones((2, 2))
+        layer.forward(x)
+        layer.backward(upstream)
+        first = layer.weight.grad.copy()
+        layer.backward(upstream)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(3, 2, random_state=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_parameters_returns_weight_and_bias(self):
+        layer = Dense(3, 2, random_state=0)
+        names = [p.name for p in layer.parameters()]
+        assert names == ["weight", "bias"]
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5, random_state=0)
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_some_units(self):
+        layer = Dropout(0.5, random_state=0)
+        x = np.ones((10, 50))
+        out = layer.forward(x, training=True)
+        assert np.sum(out == 0.0) > 0
+
+    def test_survivors_are_rescaled(self):
+        layer = Dropout(0.5, random_state=0)
+        out = layer.forward(np.ones((10, 50)), training=True)
+        surviving = out[out != 0.0]
+        np.testing.assert_allclose(surviving, 2.0)
+
+    def test_expected_value_is_preserved(self):
+        layer = Dropout(0.3, random_state=0)
+        out = layer.forward(np.ones((200, 200)), training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_masks_gradient_consistently(self):
+        layer = Dropout(0.5, random_state=0)
+        x = np.ones((5, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_zero_rate_is_identity_even_in_training(self):
+        layer = Dropout(0.0)
+        x = np.ones((3, 3))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_has_no_parameters(self):
+        assert Dropout(0.2).parameters() == []

@@ -1,0 +1,149 @@
+"""Tests for classification metrics (confusion rates, detection rate, ROC)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    detection_rate,
+    rates_from_confusion,
+    roc_auc,
+    roc_curve,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 1])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_layout_true_rows_predicted_columns(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_total_count_preserved(self):
+        y_true = np.array([0, 1, 1, 0, 1, 0])
+        y_pred = np.array([1, 1, 0, 0, 1, 1])
+        assert confusion_matrix(y_true, y_pred).sum() == 6
+
+    def test_rejects_invalid_labels(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestRatesFromConfusion:
+    def test_known_rates(self):
+        # 10 malware: 8 detected; 10 clean: 9 correct.
+        matrix = np.array([[9, 1], [2, 8]])
+        rates = rates_from_confusion(matrix)
+        assert rates["tpr"] == pytest.approx(0.8)
+        assert rates["fnr"] == pytest.approx(0.2)
+        assert rates["tnr"] == pytest.approx(0.9)
+        assert rates["fpr"] == pytest.approx(0.1)
+
+    def test_rates_sum_to_one_per_class(self):
+        matrix = np.array([[7, 3], [4, 6]])
+        rates = rates_from_confusion(matrix)
+        assert rates["tpr"] + rates["fnr"] == pytest.approx(1.0)
+        assert rates["tnr"] + rates["fpr"] == pytest.approx(1.0)
+
+    def test_missing_positives_give_nan_tpr(self):
+        matrix = np.array([[5, 1], [0, 0]])
+        rates = rates_from_confusion(matrix)
+        assert np.isnan(rates["tpr"])
+        assert not np.isnan(rates["tnr"])
+
+    def test_missing_negatives_give_nan_tnr(self):
+        matrix = np.array([[0, 0], [1, 9]])
+        rates = rates_from_confusion(matrix)
+        assert np.isnan(rates["tnr"])
+        assert rates["tpr"] == pytest.approx(0.9)
+
+    def test_rejects_non_2x2(self):
+        with pytest.raises(ShapeError):
+            rates_from_confusion(np.zeros((3, 3)))
+
+
+class TestDetectionRate:
+    def test_all_detected(self):
+        assert detection_rate(np.array([1, 1, 1])) == 1.0
+
+    def test_none_detected(self):
+        assert detection_rate(np.array([0, 0])) == 0.0
+
+    def test_partial(self):
+        assert detection_rate(np.array([1, 0, 1, 0])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            detection_rate(np.array([]))
+
+
+class TestRoc:
+    def test_perfect_separation_auc_is_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_is_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_is_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_starts_at_origin_and_ends_at_one_one(self):
+        y = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.2, 0.6, 0.4, 0.8, 0.5])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+    def test_curve_is_monotonic(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ShapeError):
+            roc_curve(np.array([1, 1]), np.array([0.5, 0.6]))
+
+
+class TestClassificationReport:
+    def test_from_predictions(self):
+        y_true = np.array([0, 0, 0, 1, 1, 1, 1, 1])
+        y_pred = np.array([0, 0, 1, 1, 1, 1, 0, 1])
+        report = ClassificationReport.from_predictions(y_true, y_pred)
+        assert report.n_samples == 8
+        assert report.tpr == pytest.approx(4 / 5)
+        assert report.tnr == pytest.approx(2 / 3)
+        assert report.accuracy == pytest.approx(6 / 8)
+
+    def test_as_dict_round_trip(self):
+        report = ClassificationReport.from_predictions(np.array([0, 1]), np.array([0, 1]))
+        as_dict = report.as_dict()
+        assert as_dict["tpr"] == 1.0
+        assert as_dict["tnr"] == 1.0
+        assert as_dict["n_samples"] == 2

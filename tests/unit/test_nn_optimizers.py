@@ -1,0 +1,138 @@
+"""Tests for SGD / Momentum / Adam."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optimizers import SGD, Adam, Momentum, get_optimizer
+
+
+def quadratic_grad(param: Parameter) -> np.ndarray:
+    """Gradient of 0.5 * ||x - 3||^2 (minimum at 3)."""
+    return param.value - 3.0
+
+
+class TestSGD:
+    def test_single_step_moves_against_gradient(self):
+        param = Parameter("x", np.array([0.0]))
+        param.grad[:] = [2.0]
+        SGD(learning_rate=0.1).step([param])
+        assert param.value[0] == pytest.approx(-0.2)
+
+    def test_step_clears_gradient(self):
+        param = Parameter("x", np.array([0.0]))
+        param.grad[:] = [1.0]
+        SGD(learning_rate=0.1).step([param])
+        assert np.all(param.grad == 0.0)
+
+    def test_converges_on_quadratic(self):
+        param = Parameter("x", np.array([10.0]))
+        optimizer = SGD(learning_rate=0.2)
+        for _ in range(100):
+            param.grad[:] = quadratic_grad(param)
+            optimizer.step([param])
+        assert param.value[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter("x", np.array([1.0]))
+        param.grad[:] = [0.0]
+        SGD(learning_rate=0.1, weight_decay=0.5).step([param])
+        assert param.value[0] < 1.0
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, weight_decay=-0.1)
+
+
+class TestMomentum:
+    def test_converges_on_quadratic(self):
+        param = Parameter("x", np.array([10.0]))
+        optimizer = Momentum(learning_rate=0.05, momentum=0.9)
+        for _ in range(300):
+            param.grad[:] = quadratic_grad(param)
+            optimizer.step([param])
+        assert param.value[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_velocity_accumulates(self):
+        param = Parameter("x", np.array([0.0]))
+        optimizer = Momentum(learning_rate=0.1, momentum=0.9)
+        param.grad[:] = [1.0]
+        optimizer.step([param])
+        first_move = abs(param.value[0])
+        param.grad[:] = [1.0]
+        optimizer.step([param])
+        second_move = abs(param.value[0]) - first_move
+        assert second_move > first_move
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter("x", np.array([10.0]))
+        optimizer = Adam(learning_rate=0.2)
+        for _ in range(300):
+            param.grad[:] = quadratic_grad(param)
+            optimizer.step([param])
+        assert param.value[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_first_step_size_is_learning_rate(self):
+        param = Parameter("x", np.array([0.0]))
+        optimizer = Adam(learning_rate=0.01)
+        param.grad[:] = [100.0]
+        optimizer.step([param])
+        # Bias correction makes the first Adam step ~= lr regardless of scale.
+        assert abs(param.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_per_parameter_state_is_independent(self):
+        a = Parameter("a", np.array([0.0]))
+        b = Parameter("b", np.array([0.0]))
+        optimizer = Adam(learning_rate=0.1)
+        a.grad[:] = [1.0]
+        b.grad[:] = [0.0]
+        optimizer.step([a, b])
+        assert a.value[0] != 0.0
+        assert b.value[0] == 0.0
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            Adam(epsilon=0.0)
+
+    def test_get_config_reports_hyperparameters(self):
+        config = Adam(learning_rate=0.005, beta1=0.8).get_config()
+        assert config["type"] == "Adam"
+        assert config["learning_rate"] == 0.005
+        assert config["beta1"] == 0.8
+
+
+class TestOptimizerRegistry:
+    @pytest.mark.parametrize("name,cls", [("sgd", SGD), ("momentum", Momentum), ("adam", Adam)])
+    def test_get_optimizer_by_name(self, name, cls):
+        assert isinstance(get_optimizer(name), cls)
+
+    def test_get_optimizer_passes_kwargs(self):
+        assert get_optimizer("adam", learning_rate=0.5).learning_rate == 0.5
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_optimizer("lbfgs")
+
+    def test_iteration_counter_increments(self):
+        param = Parameter("x", np.array([0.0]))
+        optimizer = SGD(learning_rate=0.1)
+        for _ in range(3):
+            param.grad[:] = [1.0]
+            optimizer.step([param])
+        assert optimizer.iterations == 3

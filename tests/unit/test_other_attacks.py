@@ -1,0 +1,179 @@
+"""Tests for FGSM, the random-addition baseline, transfer and black-box attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.blackbox import BlackBoxFramework
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.fgsm import FgsmAttack
+from repro.attacks.jsma import JsmaAttack
+from repro.attacks.random_noise import RandomAdditionAttack
+from repro.attacks.transfer import TransferAttack
+from repro.data.oracle import LabelOracle
+from repro.exceptions import AttackError
+
+
+class TestRandomAdditionAttack:
+    def test_respects_constraints(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.025)
+        result = RandomAdditionAttack(tiny_target.network, constraints,
+                                      random_state=0).run(tiny_malware.features)
+        assert constraints.is_feasible(result.adversarial, result.original)
+
+    def test_perturbs_exactly_budget_features(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02)
+        budget = constraints.max_features(tiny_malware.n_features)
+        result = RandomAdditionAttack(tiny_target.network, constraints,
+                                      random_state=0).run(tiny_malware.features)
+        # Some chosen features may already sit at the box maximum and stay put.
+        assert result.perturbed_features.max() <= budget
+
+    def test_is_seeded(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02)
+        a = RandomAdditionAttack(tiny_target.network, constraints, random_state=3).run(
+            tiny_malware.features)
+        b = RandomAdditionAttack(tiny_target.network, constraints, random_state=3).run(
+            tiny_malware.features)
+        np.testing.assert_array_equal(a.adversarial, b.adversarial)
+
+    def test_random_addition_barely_changes_detection(self, tiny_target, tiny_malware):
+        """The paper's control: random feature addition is not an evasion attack."""
+        baseline = tiny_target.detection_rate(tiny_malware.features)
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.025)
+        result = RandomAdditionAttack(tiny_target.network, constraints,
+                                      random_state=0).run(tiny_malware.features)
+        assert result.detection_rate > baseline - 0.15
+
+    def test_jsma_is_much_stronger_than_random(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.025)
+        random_rate = RandomAdditionAttack(tiny_target.network, constraints,
+                                           random_state=0).run(
+            tiny_malware.features).detection_rate
+        jsma_rate = JsmaAttack(tiny_target.network, constraints).run(
+            tiny_malware.features).detection_rate
+        assert jsma_rate < random_rate - 0.2
+
+
+class TestFgsmAttack:
+    def test_respects_add_only_and_box(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.05)
+        result = FgsmAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        assert np.all(result.adversarial >= result.original - 1e-12)
+        assert result.adversarial.max() <= 1.0
+
+    def test_budget_respected(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.01)
+        budget = constraints.max_features(tiny_malware.n_features)
+        result = FgsmAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        assert result.perturbed_features.max() <= budget
+
+    def test_reduces_detection_rate(self, tiny_target, tiny_malware):
+        baseline = tiny_target.detection_rate(tiny_malware.features)
+        constraints = PerturbationConstraints(theta=0.15, gamma=0.05)
+        result = FgsmAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        assert result.detection_rate < baseline
+
+    def test_zero_epsilon_is_identity(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.05)
+        result = FgsmAttack(tiny_target.network, constraints, epsilon=0.0).run(
+            tiny_malware.features)
+        np.testing.assert_array_equal(result.adversarial, result.original)
+
+    def test_negative_epsilon_rejected(self, tiny_target):
+        with pytest.raises(AttackError):
+            FgsmAttack(tiny_target.network, epsilon=-0.1)
+
+    def test_single_iteration_reported(self, tiny_target, tiny_malware):
+        result = FgsmAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02)).run(
+            tiny_malware.features)
+        assert np.all(result.iterations == 1)
+
+
+class TestTransferAttack:
+    def test_transfer_rate_definition(self, tiny_target, tiny_substitute, tiny_malware):
+        attack = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02),
+                            early_stop=False)
+        outcome = TransferAttack(attack, tiny_target.network).run(tiny_malware.features)
+        assert outcome.transfer_rate == pytest.approx(1.0 - outcome.target_detection_rate)
+
+    def test_reports_baseline_target_detection(self, tiny_target, tiny_substitute, tiny_malware):
+        attack = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02))
+        outcome = TransferAttack(attack, tiny_target.network).run(tiny_malware.features)
+        assert outcome.target_detection_rate_original == pytest.approx(
+            tiny_target.detection_rate(tiny_malware.features))
+
+    def test_greybox_attack_lowers_target_detection(self, tiny_target, tiny_substitute,
+                                                    tiny_malware):
+        attack = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.03),
+                            early_stop=False)
+        outcome = TransferAttack(attack, tiny_target.network).run(tiny_malware.features)
+        assert outcome.target_detection_rate < outcome.target_detection_rate_original
+
+    def test_cross_feature_space_replay(self, tiny_target, tiny_substitute, tiny_malware):
+        attack = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.01),
+                            early_stop=False)
+        transfer = TransferAttack(attack, tiny_target.network)
+        outcome = transfer.run(tiny_malware.features, target_features=tiny_malware.features)
+        assert 0.0 <= outcome.target_detection_rate <= 1.0
+
+    def test_cross_feature_space_sample_mismatch_rejected(self, tiny_target,
+                                                          tiny_substitute, tiny_malware):
+        attack = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.01))
+        transfer = TransferAttack(attack, tiny_target.network)
+        with pytest.raises(AttackError):
+            transfer.run(tiny_malware.features,
+                         target_features=tiny_malware.features[:3])
+
+    def test_summary_fields(self, tiny_target, tiny_substitute, tiny_malware):
+        attack = JsmaAttack(tiny_substitute.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.02))
+        summary = TransferAttack(attack, tiny_target.network).run(
+            tiny_malware.features).summary()
+        for key in ("transfer_rate", "target_detection_rate",
+                    "substitute_detection_rate", "gamma", "theta"):
+            assert key in summary
+
+
+class TestBlackBoxFramework:
+    def test_end_to_end_engagement(self, tiny_target, tiny_corpus, tiny_malware, tiny_scale):
+        oracle = LabelOracle(tiny_target)
+        framework = BlackBoxFramework(
+            oracle, scale=tiny_scale, augmentation_rounds=1,
+            constraints=PerturbationConstraints(theta=0.1, gamma=0.02),
+            random_state=0)
+        report = framework.execute(tiny_corpus.validation.features,
+                                   tiny_malware.features[:20])
+        assert report.oracle_queries > 0
+        assert 0.0 <= report.substitute_agreement <= 1.0
+        assert 0.0 <= report.transfer.target_detection_rate <= 1.0
+
+    def test_augmentation_grows_query_count(self, tiny_target, tiny_corpus, tiny_scale):
+        seed = tiny_corpus.validation.features
+        no_aug = BlackBoxFramework(LabelOracle(tiny_target), scale=tiny_scale,
+                                   augmentation_rounds=0, random_state=0)
+        no_aug.train_substitute(seed)
+        with_aug = BlackBoxFramework(LabelOracle(tiny_target), scale=tiny_scale,
+                                     augmentation_rounds=1, random_state=0)
+        with_aug.train_substitute(seed)
+        assert with_aug.oracle.queries_used > no_aug.oracle.queries_used
+
+    def test_substitute_learns_oracle_boundary(self, tiny_target, tiny_corpus, tiny_scale):
+        framework = BlackBoxFramework(LabelOracle(tiny_target), scale=tiny_scale,
+                                      augmentation_rounds=1, random_state=0)
+        substitute = framework.train_substitute(tiny_corpus.validation.features)
+        test_features = tiny_corpus.test.features[:80]
+        agreement = np.mean(substitute.predict(test_features)
+                            == tiny_target.predict(test_features))
+        assert agreement > 0.7
+
+    def test_invalid_parameters_rejected(self, tiny_target):
+        with pytest.raises(AttackError):
+            BlackBoxFramework(LabelOracle(tiny_target), augmentation_rounds=-1)
+        with pytest.raises(AttackError):
+            BlackBoxFramework(LabelOracle(tiny_target), augmentation_step=0.0)

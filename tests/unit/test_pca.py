@@ -1,0 +1,96 @@
+"""Tests for the from-scratch PCA used by the dimensionality-reduction defense."""
+
+import numpy as np
+import pytest
+
+from repro.defenses.pca import PCA
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+@pytest.fixture()
+def correlated_data():
+    rng = np.random.default_rng(0)
+    latent = rng.normal(size=(300, 3))
+    mixing = rng.normal(size=(3, 10))
+    return latent @ mixing + 0.01 * rng.normal(size=(300, 10))
+
+
+class TestFitTransform:
+    def test_transform_shape(self, correlated_data):
+        projected = PCA(n_components=3).fit_transform(correlated_data)
+        assert projected.shape == (300, 3)
+
+    def test_projected_components_are_uncorrelated(self, correlated_data):
+        projected = PCA(n_components=3).fit_transform(correlated_data)
+        covariance = np.cov(projected.T)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 1e-6 * np.abs(covariance).max() + 1e-8
+
+    def test_explained_variance_is_sorted(self, correlated_data):
+        pca = PCA(n_components=5).fit(correlated_data)
+        variance = pca.explained_variance_
+        assert np.all(np.diff(variance) <= 1e-12)
+
+    def test_three_latent_dims_capture_nearly_all_variance(self, correlated_data):
+        pca = PCA(n_components=3).fit(correlated_data)
+        assert pca.explained_variance_ratio_.sum() > 0.99
+
+    def test_components_are_orthonormal(self, correlated_data):
+        pca = PCA(n_components=4).fit(correlated_data)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_mean_is_training_mean(self, correlated_data):
+        pca = PCA(n_components=2).fit(correlated_data)
+        np.testing.assert_allclose(pca.mean_, correlated_data.mean(axis=0))
+
+    def test_whiten_gives_unit_variance(self, correlated_data):
+        projected = PCA(n_components=3, whiten=True).fit_transform(correlated_data)
+        np.testing.assert_allclose(projected.std(axis=0, ddof=1), 1.0, rtol=1e-6)
+
+    def test_full_rank_reconstruction_is_exact(self, correlated_data):
+        pca = PCA(n_components=10).fit(correlated_data)
+        reconstructed = pca.inverse_transform(pca.transform(correlated_data))
+        np.testing.assert_allclose(reconstructed, correlated_data, atol=1e-8)
+
+    def test_low_rank_reconstruction_error_is_small_for_low_rank_data(self, correlated_data):
+        pca = PCA(n_components=3).fit(correlated_data)
+        errors = pca.reconstruction_error(correlated_data)
+        assert errors.mean() < 0.1
+
+    def test_reconstruction_error_larger_for_out_of_distribution(self, correlated_data):
+        pca = PCA(n_components=3).fit(correlated_data)
+        rng = np.random.default_rng(1)
+        outliers = rng.normal(0, 5, size=(20, 10))
+        assert (pca.reconstruction_error(outliers).mean()
+                > pca.reconstruction_error(correlated_data).mean())
+
+
+class TestValidation:
+    def test_invalid_component_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=0)
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCA(n_components=11).fit(np.zeros((5, 11)) + np.eye(5, 11))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PCA(n_components=2).transform(np.zeros((3, 4)))
+
+    def test_wrong_dimension_rejected(self, correlated_data):
+        pca = PCA(n_components=2).fit(correlated_data)
+        with pytest.raises(Exception):
+            pca.transform(np.zeros((2, 7)))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, correlated_data):
+        pca = PCA(n_components=3, whiten=True).fit(correlated_data)
+        pca.save(tmp_path / "pca")
+        restored = PCA.load(tmp_path / "pca")
+        np.testing.assert_allclose(restored.transform(correlated_data),
+                                   pca.transform(correlated_data))
+        assert restored.whiten is True
+        assert restored.n_components == 3

@@ -1,0 +1,78 @@
+"""Tests for the minimal-evasion-budget robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.robustness import (
+    RobustnessReport,
+    compare_robustness,
+    minimal_evasion_budget,
+)
+from repro.exceptions import AttackError
+
+
+class TestRobustnessReport:
+    def _report(self):
+        return RobustnessReport(theta=0.1, max_features=10,
+                                minimal_features=np.array([1, 3, -1, 2, 3]))
+
+    def test_evadable_fraction(self):
+        assert self._report().evadable_fraction == pytest.approx(0.8)
+
+    def test_fraction_evadable_within(self):
+        report = self._report()
+        assert report.fraction_evadable_within(1) == pytest.approx(0.2)
+        assert report.fraction_evadable_within(3) == pytest.approx(0.8)
+        assert report.fraction_evadable_within(0) == 0.0
+
+    def test_median_budget_ignores_robust_samples(self):
+        assert self._report().median_budget() == pytest.approx(2.5)
+
+    def test_median_budget_nan_when_nothing_evades(self):
+        report = RobustnessReport(theta=0.1, max_features=5,
+                                  minimal_features=np.array([-1, -1]))
+        assert np.isnan(report.median_budget())
+        assert report.evadable_fraction == 0.0
+
+    def test_histogram(self):
+        assert self._report().histogram() == {1: 1, 2: 1, 3: 2}
+
+    def test_summary_keys(self):
+        summary = self._report().summary()
+        assert summary["n_samples"] == 5
+        assert "evadable_with_1_feature" in summary
+
+
+class TestMinimalEvasionBudget:
+    def test_budgets_within_bounds(self, tiny_target, tiny_malware):
+        report = minimal_evasion_budget(tiny_target.network, tiny_malware.features,
+                                        theta=0.1, max_features=20)
+        assert report.n_samples == tiny_malware.n_samples
+        evadable = report.minimal_features[report.minimal_features >= 0]
+        assert evadable.size == 0 or evadable.max() <= 20
+        assert np.all(report.minimal_features >= -1)
+
+    def test_larger_theta_needs_no_more_features(self, tiny_target, tiny_malware):
+        small = minimal_evasion_budget(tiny_target.network, tiny_malware.features,
+                                       theta=0.05, max_features=25)
+        large = minimal_evasion_budget(tiny_target.network, tiny_malware.features,
+                                       theta=0.2, max_features=25)
+        assert large.evadable_fraction >= small.evadable_fraction - 0.05
+
+    def test_some_samples_evade_with_small_budget(self, tiny_target, tiny_malware):
+        report = minimal_evasion_budget(tiny_target.network, tiny_malware.features,
+                                        theta=0.15, max_features=30)
+        assert report.evadable_fraction > 0.3
+
+    def test_invalid_max_features_rejected(self, tiny_target, tiny_malware):
+        with pytest.raises(AttackError):
+            minimal_evasion_budget(tiny_target.network, tiny_malware.features,
+                                   max_features=0)
+
+    def test_compare_robustness_returns_one_row_per_model(self, tiny_target,
+                                                          tiny_substitute, tiny_malware):
+        rows = compare_robustness({"target": tiny_target.network,
+                                   "substitute": tiny_substitute.network},
+                                  tiny_malware.features[:24], max_features=20)
+        assert [row["model"] for row in rows] == ["target", "substitute"]
+        assert all(0.0 <= row["evadable_fraction"] <= 1.0 for row in rows)

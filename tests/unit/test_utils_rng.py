@@ -1,0 +1,88 @@
+"""Tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequence, as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 2**31, size=8)
+        draws_b = as_rng(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_rng(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert children[0].integers(10**9) != children[1].integers(10**9)
+
+    def test_spawn_is_deterministic(self):
+        first = [rng.integers(10**9) for rng in spawn_rngs(3, 4)]
+        second = [rng.integers(10**9) for rng in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestSeedSequence:
+    def test_same_name_same_seed(self):
+        seq = SeedSequence(master_seed=5)
+        assert seq.seed_for("target") == seq.seed_for("target")
+
+    def test_different_names_different_seeds(self):
+        seq = SeedSequence(master_seed=5)
+        assert seq.seed_for("target") != seq.seed_for("substitute")
+
+    def test_different_master_seeds_differ(self):
+        assert (SeedSequence(1).seed_for("x")
+                != SeedSequence(2).seed_for("x"))
+
+    def test_name_derivation_is_order_independent(self):
+        seq_a = SeedSequence(master_seed=9)
+        seq_a.seed_for("alpha")
+        value_a = seq_a.seed_for("beta")
+        seq_b = SeedSequence(master_seed=9)
+        value_b = seq_b.seed_for("beta")
+        assert value_a == value_b
+
+    def test_rng_for_is_reproducible(self):
+        seq = SeedSequence(master_seed=11)
+        assert (seq.rng_for("component").integers(10**9)
+                == SeedSequence(master_seed=11).rng_for("component").integers(10**9))
+
+    def test_rngs_for_returns_mapping(self):
+        seq = SeedSequence(master_seed=2)
+        rngs = seq.rngs_for(["a", "b"])
+        assert set(rngs) == {"a", "b"}
+
+    def test_seeds_are_non_negative(self):
+        seq = SeedSequence(master_seed=1234)
+        assert all(seq.seed_for(f"name{i}") >= 0 for i in range(50))

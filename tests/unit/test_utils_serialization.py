@@ -1,0 +1,66 @@
+"""Tests for the bundle serialization helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.utils.serialization import load_bundle, save_bundle
+
+
+class TestSaveLoadBundle:
+    def test_round_trip_preserves_meta_and_arrays(self, tmp_path):
+        meta = {"name": "model", "layers": [3, 2], "lr": 0.001}
+        arrays = {"w": np.arange(6, dtype=np.float64).reshape(3, 2)}
+        save_bundle(tmp_path / "bundle", meta, arrays)
+        loaded_meta, loaded_arrays = load_bundle(tmp_path / "bundle")
+        assert loaded_meta["name"] == "model"
+        assert loaded_meta["layers"] == [3, 2]
+        np.testing.assert_array_equal(loaded_arrays["w"], arrays["w"])
+
+    def test_numpy_scalars_in_meta_become_json_types(self, tmp_path):
+        meta = {"count": np.int64(5), "rate": np.float64(0.25),
+                "values": np.array([1.0, 2.0])}
+        save_bundle(tmp_path / "b", meta, {})
+        loaded_meta, _ = load_bundle(tmp_path / "b")
+        assert loaded_meta["count"] == 5
+        assert loaded_meta["rate"] == 0.25
+        assert loaded_meta["values"] == [1.0, 2.0]
+
+    def test_meta_file_is_human_readable_json(self, tmp_path):
+        save_bundle(tmp_path / "b", {"a": 1}, {})
+        with open(tmp_path / "b" / "meta.json", encoding="utf-8") as handle:
+            assert json.load(handle) == {"a": 1}
+
+    def test_overwrites_existing_bundle(self, tmp_path):
+        save_bundle(tmp_path / "b", {"v": 1}, {"x": np.zeros(2)})
+        save_bundle(tmp_path / "b", {"v": 2}, {"x": np.ones(2)})
+        meta, arrays = load_bundle(tmp_path / "b")
+        assert meta["v"] == 2
+        assert arrays["x"].sum() == 2.0
+
+    def test_nested_meta_round_trips(self, tmp_path):
+        meta = {"nested": {"a": [1, 2, {"b": np.float64(3.5)}]}}
+        save_bundle(tmp_path / "b", meta, {})
+        loaded, _ = load_bundle(tmp_path / "b")
+        assert loaded["nested"]["a"][2]["b"] == 3.5
+
+
+class TestLoadErrors:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_bundle(tmp_path / "does_not_exist")
+
+    def test_partial_bundle_raises(self, tmp_path):
+        directory = tmp_path / "partial"
+        directory.mkdir()
+        (directory / "meta.json").write_text("{}", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_bundle(directory)
+
+    def test_corrupt_meta_raises(self, tmp_path):
+        save_bundle(tmp_path / "b", {"ok": True}, {"x": np.zeros(1)})
+        (tmp_path / "b" / "meta.json").write_text("not-json", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_bundle(tmp_path / "b")

@@ -1,0 +1,141 @@
+"""Tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_unit_interval,
+    check_labels,
+    check_matrix,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_valid_int(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_rejects_zero_with_default_minimum(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "n")
+
+    def test_respects_custom_minimum(self):
+        assert check_positive_int(0, "n", minimum=0) == 0
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "n")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_fraction(value, "f") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction(value, "f")
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "f", inclusive_low=False)
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.0, "f", inclusive_high=False)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction("half", "f")
+
+
+class TestCheckMatrix:
+    def test_promotes_1d_to_single_row(self):
+        out = check_matrix(np.zeros(4))
+        assert out.shape == (1, 4)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((0, 4)))
+
+    def test_rejects_wrong_feature_count(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((3, 4)), n_features=5)
+
+    def test_rejects_nan(self):
+        bad = np.zeros((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ShapeError):
+            check_matrix(bad)
+
+    def test_rejects_inf(self):
+        bad = np.zeros((2, 2))
+        bad[1, 1] = np.inf
+        with pytest.raises(ShapeError):
+            check_matrix(bad)
+
+    def test_returns_float64(self):
+        assert check_matrix(np.zeros((2, 2), dtype=np.float32)).dtype == np.float64
+
+
+class TestCheckLabels:
+    def test_accepts_binary_labels(self):
+        out = check_labels(np.array([0, 1, 1, 0]))
+        assert out.dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            check_labels(np.zeros((2, 2)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            check_labels(np.array([0, 2]))
+
+    def test_rejects_non_integer_values(self):
+        with pytest.raises(ShapeError):
+            check_labels(np.array([0.5, 1.0]))
+
+    def test_accepts_integer_valued_floats(self):
+        out = check_labels(np.array([0.0, 1.0]))
+        assert list(out) == [0, 1]
+
+    def test_rejects_sample_count_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_labels(np.array([0, 1]), n_samples=3)
+
+
+class TestCheckUnitInterval:
+    def test_clips_tiny_numerical_noise(self):
+        out = check_in_unit_interval(np.array([[0.0, 1.0 + 1e-12]]))
+        assert out.max() <= 1.0
+
+    def test_rejects_clear_violations(self):
+        with pytest.raises(ShapeError):
+            check_in_unit_interval(np.array([[1.5]]))
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_valid_rows(self):
+        check_probability_matrix(np.array([[0.3, 0.7], [0.5, 0.5]]))
+
+    def test_rejects_rows_not_summing_to_one(self):
+        with pytest.raises(ShapeError):
+            check_probability_matrix(np.array([[0.3, 0.3]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ShapeError):
+            check_probability_matrix(np.array([[-0.1, 1.1]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_probability_matrix(np.array([0.5, 0.5]))
