@@ -5,6 +5,12 @@ context (corpus + trained models) is built once per session at the scale
 selected by ``REPRO_SCALE`` (default ``small``) so that individual benches
 measure the cost of *their* experiment, not of retraining the models.
 
+The context is additionally backed by a persistent
+:class:`~repro.utils.artifact_cache.ArtifactCache` (``benchmarks/.cache``
+unless ``REPRO_CACHE_DIR`` points elsewhere; set ``REPRO_BENCH_NO_CACHE=1``
+to disable), so warm benchmark sessions skip corpus generation and model
+retraining entirely and go straight to the measured experiment.
+
 Rendered outputs are written to ``benchmarks/results/<experiment>.txt`` so
 the regenerated rows/series can be inspected after a run and compared with
 the paper's values (see EXPERIMENTS.md).
@@ -12,12 +18,14 @@ the paper's values (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.config import default_profile
 from repro.experiments.context import ExperimentContext
+from repro.utils.artifact_cache import ArtifactCache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -33,9 +41,18 @@ def bench_scale():
 
 
 @pytest.fixture(scope="session")
-def bench_context(bench_scale):
+def bench_cache():
+    """Persistent artifact cache shared by benchmark sessions (or None)."""
+    if os.environ.get("REPRO_BENCH_NO_CACHE") == "1":
+        return None
+    root = os.environ.get("REPRO_CACHE_DIR", str(Path(__file__).parent / ".cache"))
+    return ArtifactCache(root)
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_scale, bench_cache):
     """Shared experiment context (corpus and models built lazily, once)."""
-    return ExperimentContext(scale=bench_scale, seed=BENCH_SEED)
+    return ExperimentContext(scale=bench_scale, seed=BENCH_SEED, cache=bench_cache)
 
 
 @pytest.fixture(scope="session")

@@ -11,6 +11,14 @@ This walks the library's main public API end to end in a few minutes at the
 4. retrain with adversarial training and measure the recovery.
 
 Run:  python examples/quickstart.py
+
+Performance knobs (see README.md):
+
+* ``REPRO_QUICKSTART_CACHE=<dir>`` persists the corpus and trained target
+  via :class:`repro.utils.ArtifactCache`, so re-runs skip straight to the
+  attack;
+* ``REPRO_DTYPE=float32`` switches the compute engine to float32 (success
+  rates match float64 within 1%).
 """
 
 from __future__ import annotations
@@ -25,8 +33,7 @@ from repro import (
     get_profile,
 )
 from repro.config import CLASS_MALWARE
-from repro.data.generator import CorpusGenerator
-from repro.models.factory import train_target_model
+from repro.experiments import ExperimentContext
 
 import numpy as np
 
@@ -36,15 +43,19 @@ def main() -> None:
     print(f"== scale profile: {scale.name} "
           f"({scale.train_total} train / {scale.test_total} test samples)")
 
+    # The context lazily builds (and, with a cache directory, persists) the
+    # shared artifacts: corpus, target model, substitutes.
+    context = ExperimentContext(scale=scale, seed=42,
+                                cache=os.environ.get("REPRO_QUICKSTART_CACHE"))
+
     # 1. The synthetic corpus (stand-in for the McAfee Labs / VirusTotal data).
-    generator = CorpusGenerator(scale=scale, seed=42)
-    corpus = generator.generate_corpus()
+    corpus = context.corpus
     for row_name, row_value in corpus.table1_rows():
         print(f"   {row_name}: {row_value}")
 
     # 2. The deployed 4-layer DNN detector.
     print("== training the target model ...")
-    target = train_target_model(corpus, scale=scale, random_state=0)
+    target = context.target_model
     clean_report = target.report(corpus.test.clean_only())
     malware_report = target.report(corpus.test.malware_only())
     print(f"   test TNR (clean) : {clean_report.tnr:.3f}")

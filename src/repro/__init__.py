@@ -56,7 +56,8 @@ from repro.defenses import (
 from repro.experiments import ExperimentContext, available_experiments, run_experiment
 from repro.features import FeaturePipeline
 from repro.models import SubstituteModel, TargetModel
-from repro.nn import NeuralNetwork
+from repro.nn import NeuralNetwork, compute_dtype, set_default_dtype, use_dtype
+from repro.utils import ArtifactCache
 from repro.version import __version__
 
 __all__ = [
@@ -66,6 +67,8 @@ __all__ = [
     "N_FEATURES", "CLASS_CLEAN", "CLASS_MALWARE",
     # substrates
     "NeuralNetwork", "FeaturePipeline", "Dataset", "CorpusGenerator", "LabelOracle",
+    # performance (compute engine + persistent artifact cache)
+    "compute_dtype", "set_default_dtype", "use_dtype", "ArtifactCache",
     # models
     "TargetModel", "SubstituteModel",
     # attacks

@@ -53,7 +53,15 @@ class JsmaAttack(Attack):
     early_stop:
         Stop perturbing a sample as soon as the crafting model classifies it
         as the target class.  Disabling this always spends the full budget,
-        which is useful when studying transferability.
+        which is useful when studying transferability.  The early-stop
+        prediction is read from the same forward pass that produces the
+        Jacobian — no extra ``predict`` pass per iteration.
+    features_per_step:
+        Number of top-saliency features perturbed per Jacobian evaluation
+        (default 1, the classic JSMA).  Larger values trade attack precision
+        for fewer forward/backward passes: a budget of ``k`` features is
+        spent in ``ceil(k / features_per_step)`` steps, which is how the
+        budget sweeps keep large-γ operating points tractable.
     """
 
     name = "jsma"
@@ -62,13 +70,18 @@ class JsmaAttack(Attack):
                  constraints: Optional[PerturbationConstraints] = None,
                  target_class: int = CLASS_CLEAN,
                  use_saliency_map: bool = True,
-                 early_stop: bool = True) -> None:
+                 early_stop: bool = True,
+                 features_per_step: int = 1) -> None:
         super().__init__(network, constraints)
         if target_class not in (0, 1):
             raise AttackError(f"target_class must be 0 or 1, got {target_class}")
+        if features_per_step < 1:
+            raise AttackError(
+                f"features_per_step must be >= 1, got {features_per_step}")
         self.target_class = int(target_class)
         self.use_saliency_map = bool(use_saliency_map)
         self.early_stop = bool(early_stop)
+        self.features_per_step = int(features_per_step)
 
     # ------------------------------------------------------------------ #
     # Saliency computation
@@ -115,14 +128,28 @@ class JsmaAttack(Attack):
         # Per-sample bookkeeping of which features have been touched.
         touched = np.zeros((n_samples, n_features), dtype=bool)
         active = np.ones(n_samples, dtype=bool)
-        if self.early_stop:
-            active &= self.network.predict(adversarial) != self.target_class
+        per_step = self.features_per_step
+        n_steps = budget if per_step == 1 else -(-budget // per_step)
 
-        for _ in range(budget):
+        for _ in range(n_steps):
             if not np.any(active):
                 break
             idx = np.flatnonzero(active)
-            jacobian = self.network.class_gradients(adversarial[idx])
+            # One forward + (for binary networks) one fused backward pass per
+            # step; the forward probabilities double as the early-stop
+            # prediction for the current iterate, so no second predict pass
+            # is needed.
+            jacobian, probs = self.network.class_gradients(adversarial[idx],
+                                                           return_probs=True)
+            if self.early_stop:
+                evaded = np.argmax(probs, axis=1) == self.target_class
+                if np.any(evaded):
+                    active[idx[evaded]] = False
+                    keep = ~evaded
+                    if not np.any(keep):
+                        continue
+                    idx = idx[keep]
+                    jacobian = jacobian[keep]
             scores = self._feature_scores(jacobian)
 
             # Features that cannot be perturbed: outside the mask, already
@@ -132,25 +159,37 @@ class JsmaAttack(Attack):
             infeasible = (~modifiable)[None, :] | saturated | touched[idx]
             scores = np.where(infeasible, -np.inf, scores)
 
-            best = np.argmax(scores, axis=1)
-            best_scores = scores[np.arange(idx.size), best]
-            feasible = np.isfinite(best_scores)
-            if not np.any(feasible):
+            if per_step == 1:
+                best = np.argmax(scores, axis=1)
+                best_scores = scores[np.arange(idx.size), best]
+                feasible = np.isfinite(best_scores)
+                rows = idx[feasible]
+                cols = best[feasible]
+                progressed = feasible
+            else:
+                # Top-k selection capped by each sample's remaining budget.
+                remaining = budget - touched[idx].sum(axis=1)
+                k_row = np.minimum(per_step, remaining)
+                k_max = int(max(k_row.max(), 1))
+                order = np.argsort(-scores, axis=1)[:, :k_max]
+                top_scores = np.take_along_axis(scores, order, axis=1)
+                valid = np.isfinite(top_scores) & (np.arange(k_max)[None, :]
+                                                   < k_row[:, None])
+                flat_row, flat_col = np.nonzero(valid)
+                rows = idx[flat_row]
+                cols = order[flat_row, flat_col]
+                progressed = valid.any(axis=1)
+            if not np.any(progressed):
                 break
 
-            rows = idx[feasible]
-            cols = best[feasible]
             adversarial[rows, cols] = np.minimum(
                 adversarial[rows, cols] + constraints.theta, constraints.clip_max)
             touched[rows, cols] = True
-            iterations[rows] += 1
+            np.add.at(iterations, rows, 1)
 
-            # Samples with no feasible feature left stop here.
-            active[idx[~feasible]] = False
-            if self.early_stop:
-                predictions = self.network.predict(adversarial[rows])
-                evaded = predictions == self.target_class
-                active[rows[evaded]] = False
+            # Samples with no feasible feature left stop here; evaded samples
+            # are caught by the probability check at the top of the next step.
+            active[idx[~progressed]] = False
 
         # Safety: the loop construction already satisfies the constraints,
         # but project anyway so the invariant holds even under future edits.
@@ -174,6 +213,10 @@ class JsmaAttack(Attack):
         jacobian = self.network.class_gradients(matrix)
         scores = self._feature_scores(jacobian)
         modifiable = self.constraints.modifiable_mask(matrix.shape[1])
-        scores = np.where(modifiable[None, :], scores, -np.inf)
+        # A feature already at the box maximum cannot be increased, so it is
+        # never a valid selection — mask it exactly as the attack loop does.
+        saturated = matrix >= self.constraints.clip_max - 1e-12
+        infeasible = (~modifiable)[None, :] | saturated
+        scores = np.where(infeasible, -np.inf, scores)
         order = np.argsort(-scores, axis=1)
         return order[:, :top_k]

@@ -6,9 +6,13 @@ Usage examples::
     repro-experiments run figure3 --scale small --seed 7
     repro-experiments run table6 --scale tiny --out results/
     repro-experiments run-all --scale tiny
+    repro-experiments run-all --scale small --cache-dir .repro-cache
 
 ``run`` prints the experiment's rendered table/figure to stdout and (with
-``--out``) also writes it to ``<out>/<experiment>.txt``.
+``--out``) also writes it to ``<out>/<experiment>.txt``.  ``--cache-dir``
+attaches an :class:`~repro.utils.artifact_cache.ArtifactCache` so the
+corpus and trained models persist across invocations — a warm ``run-all``
+skips straight to the attack/defense measurements.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Optional, Sequence
 from repro.config import PROFILES, get_profile
 from repro.experiments import ExperimentContext, available_experiments
 from repro.experiments.registry import EXPERIMENTS
+from repro.utils.artifact_cache import ArtifactCache
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="master seed for the experiment context")
         sub.add_argument("--out", type=Path, default=None,
                          help="directory to write rendered outputs into")
+        sub.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                         help="persist the corpus and trained models under DIR "
+                              "so warm runs skip retraining (pass 'default' for "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-dsn2019)")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=available_experiments(),
@@ -70,7 +79,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{experiment_id:<14} {spec.title}  [{spec.paper_section}]")
         return 0
 
-    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed)
+    cache = None
+    if args.cache_dir is not None:
+        cache = (ArtifactCache() if str(args.cache_dir) == "default"
+                 else ArtifactCache(args.cache_dir))
+    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
+                                cache=cache)
     if args.command == "run":
         result = EXPERIMENTS[args.experiment].runner(context)
         _emit(args.experiment, result.render(), args.out)

@@ -8,6 +8,15 @@ print the same quantities the paper reports.
 
 Use :func:`repro.experiments.registry.run_experiment` (or the registry's
 ``EXPERIMENTS`` mapping) to execute them by id, e.g. ``figure3``.
+
+Pass ``cache=ArtifactCache(...)`` (or a directory path) to
+:class:`ExperimentContext` to persist the expensive artifacts across
+*processes* as well: warm runs load the corpus and trained models from disk
+(keyed by scale profile, seed and compute dtype — see
+:mod:`repro.utils.artifact_cache` for the layout and invalidation rules)
+instead of regenerating and retraining them.  The CLI exposes this as
+``--cache-dir`` and the benchmark harness warms ``benchmarks/.cache`` by
+default.
 """
 
 from repro.experiments.context import ExperimentContext

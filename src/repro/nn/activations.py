@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.engine import float_dtype_of
 from repro.nn.layers import Layer
 
 
@@ -25,7 +26,7 @@ def softmax(logits: np.ndarray, temperature: float = 1.0) -> np.ndarray:
     """
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
-    scaled = np.asarray(logits, dtype=np.float64) / float(temperature)
+    scaled = np.asarray(logits, dtype=float_dtype_of(logits)) / float(temperature)
     scaled = scaled - scaled.max(axis=-1, keepdims=True)
     exp = np.exp(scaled)
     return exp / exp.sum(axis=-1, keepdims=True)
@@ -40,7 +41,7 @@ def softmax_input_gradient(probabilities: np.ndarray, class_index: int,
 
     ``d p_k / d z_j = (1/T) * p_k * (delta_kj - p_j)``
     """
-    p = np.asarray(probabilities, dtype=np.float64)
+    p = np.asarray(probabilities, dtype=float_dtype_of(probabilities))
     p_k = p[:, class_index:class_index + 1]
     grad = -p_k * p
     grad[:, class_index] += p_k[:, 0]

@@ -7,18 +7,23 @@ from typing import List, Optional
 import numpy as np
 
 from repro.exceptions import ShapeError
+from repro.nn.engine import as_compute, ensure_buffer, get_engine
 from repro.nn.initializers import get_initializer
 from repro.utils.rng import RandomState, as_rng
 
 
 class Parameter:
-    """A trainable tensor together with its accumulated gradient."""
+    """A trainable tensor together with its accumulated gradient.
+
+    Values are stored in the engine's compute dtype at construction time
+    (see :mod:`repro.nn.engine`); all layer math follows the parameter dtype.
+    """
 
     __slots__ = ("name", "value", "grad")
 
     def __init__(self, name: str, value: np.ndarray) -> None:
         self.name = name
-        self.value = np.asarray(value, dtype=np.float64)
+        self.value = as_compute(value)
         self.grad = np.zeros_like(self.value)
 
     def zero_grad(self) -> None:
@@ -98,23 +103,53 @@ class Dense(Layer):
         self.weight = Parameter("weight", init(self.in_features, self.out_features, rng))
         self.bias = Parameter("bias", np.zeros(self.out_features))
         self._inputs: Optional[np.ndarray] = None
+        # Preallocated buffers reused across calls when the engine allows it
+        # (see repro.nn.engine for the aliasing contract).
+        self._fwd_out: Optional[np.ndarray] = None
+        self._bwd_out: Optional[np.ndarray] = None
+        self._wgrad_scratch: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        weight = self.weight.value
+        inputs = np.asarray(inputs, dtype=weight.dtype)
         if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
             raise ShapeError(
                 f"Dense layer expected input of shape (n, {self.in_features}), "
                 f"got {inputs.shape}"
             )
         self._inputs = inputs
-        return inputs @ self.weight.value + self.bias.value
+        if get_engine().reuse_buffers:
+            out = ensure_buffer(self._fwd_out, (inputs.shape[0], self.out_features),
+                                weight.dtype)
+            if out is inputs:  # square layer fed its own previous output
+                out = np.empty_like(out)
+            self._fwd_out = out
+            np.matmul(inputs, weight, out=out)
+            out += self.bias.value
+            return out
+        return inputs @ weight + self.bias.value
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._inputs is None:
             raise RuntimeError("backward called before forward")
+        weight = self.weight.value
+        grad_output = np.asarray(grad_output, dtype=weight.dtype)
+        if get_engine().reuse_buffers:
+            scratch = ensure_buffer(self._wgrad_scratch, weight.shape, weight.dtype)
+            self._wgrad_scratch = scratch
+            np.matmul(self._inputs.T, grad_output, out=scratch)
+            self.weight.grad += scratch
+            self.bias.grad += grad_output.sum(axis=0)
+            out = ensure_buffer(self._bwd_out, (grad_output.shape[0], self.in_features),
+                                weight.dtype)
+            if out is grad_output:
+                out = np.empty_like(out)
+            self._bwd_out = out
+            np.matmul(grad_output, weight.T, out=out)
+            return out
         self.weight.grad += self._inputs.T @ grad_output
         self.bias.grad += grad_output.sum(axis=0)
-        return grad_output @ self.weight.value.T
+        return grad_output @ weight.T
 
     def parameters(self) -> List[Parameter]:
         return [self.weight, self.bias]

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.nn.activations import softmax
+from repro.nn.engine import float_dtype_of
 
 
 class Loss:
@@ -88,7 +89,7 @@ class SoftmaxCrossEntropy(Loss):
         return encoded
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        logits = np.asarray(logits, dtype=np.float64)
+        logits = np.asarray(logits, dtype=float_dtype_of(logits))
         if logits.ndim != 2:
             raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
         encoded = self._prepare_targets(targets, logits.shape[1])
@@ -98,7 +99,7 @@ class SoftmaxCrossEntropy(Loss):
             )
         probs = softmax(logits, temperature=self.temperature)
         self._probs = probs
-        self._targets = encoded
+        self._targets = encoded.astype(probs.dtype, copy=False)
         log_probs = np.log(np.clip(probs, 1e-12, 1.0))
         return float(-(encoded * log_probs).sum(axis=1).mean())
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import SerializationError, ShapeError
 from repro.nn.activations import ACTIVATIONS, get_activation, softmax, softmax_input_gradient
+from repro.nn.engine import SUPPORTED_DTYPES, get_engine
 from repro.nn.layers import Dense, Dropout, Layer, Parameter
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.utils.rng import RandomState, as_rng, spawn_rngs
@@ -137,8 +138,14 @@ class NeuralNetwork:
     # Forward / prediction
     # ------------------------------------------------------------------ #
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run a forward pass and return logits of shape ``(n, n_classes)``."""
-        out = np.asarray(inputs, dtype=np.float64)
+        """Run a forward pass and return logits of shape ``(n, n_classes)``.
+
+        The compute dtype follows the layer parameters (fixed when the
+        network was built, see :mod:`repro.nn.engine`).  When buffer reuse is
+        enabled the returned array may alias an internal layer buffer and is
+        only valid until the next forward pass.
+        """
+        out = np.asarray(inputs)
         if out.ndim == 1:
             out = out.reshape(1, -1)
         for layer in self.layers:
@@ -146,8 +153,13 @@ class NeuralNetwork:
         return out
 
     def predict_logits(self, inputs: np.ndarray) -> np.ndarray:
-        """Alias of :meth:`forward` in inference mode."""
-        return self.forward(inputs, training=False)
+        """Logits in inference mode, as a fresh array the caller may keep.
+
+        Unlike raw :meth:`forward`, the result never aliases a reused layer
+        buffer, so consecutive calls do not overwrite each other.
+        """
+        logits = self.forward(inputs, training=False)
+        return np.array(logits) if get_engine().reuse_buffers else logits
 
     def predict_proba(self, inputs: np.ndarray,
                       temperature: Optional[float] = None) -> np.ndarray:
@@ -178,7 +190,7 @@ class NeuralNetwork:
         input-gradient computations should call :meth:`zero_grad` afterwards
         (the convenience wrappers below do this automatically).
         """
-        grad = np.asarray(grad_logits, dtype=np.float64)
+        grad = np.asarray(grad_logits)
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
@@ -193,27 +205,51 @@ class NeuralNetwork:
         return value
 
     def class_gradients(self, inputs: np.ndarray,
-                        temperature: Optional[float] = None) -> np.ndarray:
+                        temperature: Optional[float] = None,
+                        fused: Optional[bool] = None,
+                        return_probs: bool = False):
         """Jacobian of the softmax output w.r.t. the input (Equation 1).
 
         Returns an array of shape ``(n_samples, n_classes, n_features)``
         where entry ``[s, i, j]`` is ``dF_i(x_s) / dx_j`` with
         ``F = softmax(logits / T)``.
+
+        For binary classifiers the softmax rows sum to 1, so
+        ``dF_0/dx == -dF_1/dx`` and the full Jacobian needs only ONE backward
+        pass — this fused path halves the per-step backward cost of JSMA.
+        ``fused=None`` (the default) selects it automatically when
+        ``n_classes == 2``; pass ``fused=False`` to force the per-class loop
+        (used by the verification tests and benchmarks).
+
+        With ``return_probs=True`` the softmax probabilities from the forward
+        pass are returned alongside the Jacobian, letting attack loops reuse
+        them for early-stop predictions instead of running a second forward
+        pass.
         """
         temp = self.temperature if temperature is None else temperature
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs)
         if inputs.ndim == 1:
             inputs = inputs.reshape(1, -1)
         logits = self.forward(inputs, training=False)
         probs = softmax(logits, temperature=temp)
-        jacobian = np.empty((inputs.shape[0], self.n_classes, inputs.shape[1]))
-        for class_index in range(self.n_classes):
-            grad_logits = softmax_input_gradient(probs, class_index, temperature=temp)
-            # A fresh forward pass is not needed between classes: layer caches
-            # are untouched by backward(); we only need to discard the
-            # accumulated parameter gradients afterwards.
-            jacobian[:, class_index, :] = self.backward(grad_logits)
+        jacobian = np.empty((inputs.shape[0], self.n_classes, inputs.shape[1]),
+                            dtype=probs.dtype)
+        use_fused = self.n_classes == 2 if fused is None else (fused and self.n_classes == 2)
+        if use_fused:
+            grad_logits = softmax_input_gradient(probs, 0, temperature=temp)
+            grad_input = self.backward(grad_logits)
+            jacobian[:, 0, :] = grad_input
+            np.negative(jacobian[:, 0, :], out=jacobian[:, 1, :])
+        else:
+            for class_index in range(self.n_classes):
+                grad_logits = softmax_input_gradient(probs, class_index, temperature=temp)
+                # A fresh forward pass is not needed between classes: layer
+                # caches are untouched by backward(); we only need to discard
+                # the accumulated parameter gradients afterwards.
+                jacobian[:, class_index, :] = self.backward(grad_logits)
         self.zero_grad()
+        if return_probs:
+            return jacobian, probs
         return jacobian
 
     def loss_input_gradient(self, inputs: np.ndarray, labels: np.ndarray,
@@ -223,7 +259,8 @@ class NeuralNetwork:
         loss = SoftmaxCrossEntropy(temperature=temp)
         logits = self.forward(inputs, training=False)
         loss.forward(logits, labels)
-        grad_input = self.backward(loss.backward())
+        # Copy: backward() may return a reused layer buffer (repro.nn.engine).
+        grad_input = np.array(self.backward(loss.backward()))
         self.zero_grad()
         return grad_input
 
@@ -280,7 +317,12 @@ class NeuralNetwork:
                         f"weight {key!r} has shape {arrays[key].shape}, "
                         f"expected {param.value.shape}"
                     )
-                param.value = arrays[key].astype(np.float64)
+                saved = arrays[key]
+                # A checkpoint carries its compute dtype with it: float32
+                # bundles restore as float32 regardless of the current engine
+                # default (non-float payloads fall back to the engine dtype).
+                dtype = saved.dtype if saved.dtype in SUPPORTED_DTYPES else param.value.dtype
+                param.value = saved.astype(dtype)
                 param.grad = np.zeros_like(param.value)
         return network
 

@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG handling, validation helpers, serialization."""
+"""Shared utilities: seeded RNG handling, validation helpers, serialization,
+and the persistent experiment-artifact cache."""
 
+from repro.utils.artifact_cache import ArtifactCache, default_cache_root
 from repro.utils.rng import SeedSequence, as_rng, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
@@ -11,6 +13,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ArtifactCache",
+    "default_cache_root",
     "SeedSequence",
     "as_rng",
     "spawn_rngs",

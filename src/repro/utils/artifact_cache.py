@@ -1,0 +1,164 @@
+"""Persistent on-disk cache for expensive experiment artifacts.
+
+Every experiment process used to retrain the target, substitute and defended
+models — and regenerate the corpus — from scratch before it could measure
+anything.  :class:`ArtifactCache` persists those artifacts to disk, keyed by
+a content hash of everything that determines them (scale profile, master
+seed, compute dtype, artifact kind, plus any extra configuration), so warm
+runs of the CLI, the examples and the benchmark harness skip straight to the
+measurement.
+
+Layout and invalidation rules
+-----------------------------
+Artifacts live under ``<root>/<kind>/<key>/`` where ``root`` defaults to the
+``REPRO_CACHE_DIR`` environment variable, falling back to
+``~/.cache/repro-dsn2019``.  The ``key`` is the first 16 hex digits of the
+SHA-256 of the canonical JSON encoding of the key components, which always
+include:
+
+* ``schema`` — :data:`CACHE_SCHEMA_VERSION`, bumped whenever the stored
+  format or the *meaning* of an artifact changes (a bump orphans every old
+  entry rather than risking stale loads);
+* the artifact ``kind`` (``corpus``, ``target``, ``substitute``, ...);
+* the full scale-profile field dict, the master seed and the compute dtype
+  (models trained under ``float32`` and ``float64`` are distinct artifacts).
+
+A directory only counts as cached once its ``COMPLETE`` marker file exists —
+it is written last, so a crash mid-save leaves a partial directory that is
+simply rebuilt (and overwritten) on the next run.  There is no staleness
+check beyond the key: if you change generator or training *code* in a way
+that should invalidate entries, bump :data:`CACHE_SCHEMA_VERSION` or call
+:meth:`ArtifactCache.clear`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.exceptions import SerializationError
+
+_ENV_CACHE_VAR = "REPRO_CACHE_DIR"
+_MARKER = "COMPLETE"
+
+#: Bump when the on-disk format or artifact semantics change.
+CACHE_SCHEMA_VERSION = 1
+
+T = TypeVar("T")
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dsn2019``."""
+    env = os.environ.get(_ENV_CACHE_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-dsn2019"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce key components to canonical JSON-encodable values."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    return str(value)
+
+
+class ArtifactCache:
+    """Content-addressed directory store for experiment artifacts.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily).  Defaults to
+        :func:`default_cache_root`.
+    """
+
+    def __init__(self, root: Optional[str | Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+    def key_for(self, kind: str, **components: Any) -> str:
+        """Deterministic 16-hex-digit key for ``kind`` + ``components``."""
+        payload = {"schema": CACHE_SCHEMA_VERSION, "kind": kind,
+                   **{k: _canonical(v) for k, v in components.items()}}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def path_for(self, kind: str, key: str) -> Path:
+        """Directory that holds (or will hold) the artifact."""
+        return self.root / kind / key
+
+    def has(self, kind: str, key: str) -> bool:
+        """Whether a complete artifact is cached under ``kind``/``key``."""
+        return (self.path_for(kind, key) / _MARKER).exists()
+
+    # ------------------------------------------------------------------ #
+    # Store / retrieve
+    # ------------------------------------------------------------------ #
+    def load_or_build(self, kind: str, key: str,
+                      build: Callable[[], T],
+                      save: Callable[[T, Path], None],
+                      load: Callable[[Path], T]) -> T:
+        """Return the cached artifact, building and persisting it on a miss.
+
+        ``save(artifact, path)`` writes into the artifact directory; the
+        ``COMPLETE`` marker is written only after it returns, so interrupted
+        saves are treated as misses.  A corrupt entry (marker present but
+        ``load`` failing) is evicted and rebuilt rather than propagated.
+        """
+        path = self.path_for(kind, key)
+        if self.has(kind, key):
+            try:
+                return load(path)
+            except (SerializationError, OSError, KeyError, ValueError):
+                self.invalidate(kind, key)
+        artifact = build()
+        if path.exists():
+            shutil.rmtree(path)
+        path.mkdir(parents=True, exist_ok=True)
+        save(artifact, path)
+        (path / _MARKER).touch()
+        return artifact
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate(self, kind: str, key: str) -> bool:
+        """Drop one cached artifact; returns whether anything was removed."""
+        path = self.path_for(kind, key)
+        if path.exists():
+            shutil.rmtree(path)
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Drop every cached artifact; returns the number of entries removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for kind_dir in self.root.iterdir():
+            if not kind_dir.is_dir():
+                continue
+            for entry in kind_dir.iterdir():
+                if entry.is_dir():
+                    shutil.rmtree(entry)
+                    removed += 1
+            if not any(kind_dir.iterdir()):
+                kind_dir.rmdir()
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache(root={str(self.root)!r})"

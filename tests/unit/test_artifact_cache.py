@@ -1,0 +1,162 @@
+"""Tests for the persistent experiment-artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import TINY_PROFILE
+from repro.data.dataset import Dataset
+from repro.experiments.context import ExperimentContext
+from repro.utils.artifact_cache import ArtifactCache, default_cache_root
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.key_for("target", seed=1, scale={"name": "tiny"}) == \
+               cache.key_for("target", seed=1, scale={"name": "tiny"})
+
+    def test_key_depends_on_components(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = cache.key_for("target", seed=1)
+        assert cache.key_for("target", seed=2) != base
+        assert cache.key_for("substitute", seed=1) != base
+        assert cache.key_for("target", seed=1, dtype="float32") != base
+
+    def test_key_order_insensitive(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.key_for("k", a=1, b=2) == cache.key_for("k", b=2, a=1)
+
+    def test_default_root_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_root() == tmp_path / "env-cache"
+        assert ArtifactCache().root == tmp_path / "env-cache"
+
+
+class TestLoadOrBuild:
+    def _dataset(self) -> Dataset:
+        return Dataset(features=np.linspace(0, 1, 12).reshape(4, 3),
+                       labels=np.array([0, 1, 0, 1]), name="toy")
+
+    def test_builds_on_miss_and_loads_on_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        calls = {"build": 0}
+
+        def build() -> Dataset:
+            calls["build"] += 1
+            return self._dataset()
+
+        key = cache.key_for("dataset", seed=0)
+        save = lambda ds, path: ds.save(path / "data")
+        load = lambda path: Dataset.load(path / "data")
+
+        first = cache.load_or_build("dataset", key, build, save, load)
+        assert calls["build"] == 1
+        assert cache.has("dataset", key)
+        second = cache.load_or_build("dataset", key, build, save, load)
+        assert calls["build"] == 1  # warm hit: no rebuild
+        np.testing.assert_array_equal(second.features, first.features)
+        np.testing.assert_array_equal(second.labels, first.labels)
+
+    def test_incomplete_entry_is_rebuilt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=1)
+        # Simulate a crash mid-save: directory exists, marker missing.
+        cache.path_for("dataset", key).mkdir(parents=True)
+        assert not cache.has("dataset", key)
+        result = cache.load_or_build(
+            "dataset", key, self._dataset,
+            lambda ds, path: ds.save(path / "data"),
+            lambda path: Dataset.load(path / "data"))
+        assert cache.has("dataset", key)
+        assert result.n_samples == 4
+
+    def test_corrupt_entry_is_evicted_and_rebuilt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=2)
+        path = cache.path_for("dataset", key)
+        path.mkdir(parents=True)
+        (path / "COMPLETE").touch()  # marker present, payload missing
+        result = cache.load_or_build(
+            "dataset", key, self._dataset,
+            lambda ds, path: ds.save(path / "data"),
+            lambda path: Dataset.load(path / "data"))
+        assert result.n_samples == 4
+        assert cache.has("dataset", key)
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for seed in (0, 1):
+            key = cache.key_for("dataset", seed=seed)
+            cache.load_or_build("dataset", key, self._dataset,
+                                lambda ds, path: ds.save(path / "data"),
+                                lambda path: Dataset.load(path / "data"))
+        key0 = cache.key_for("dataset", seed=0)
+        assert cache.invalidate("dataset", key0)
+        assert not cache.has("dataset", key0)
+        assert not cache.invalidate("dataset", key0)
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+
+class TestContextIntegration:
+    @pytest.fixture()
+    def cached_context(self, tmp_path):
+        return ExperimentContext(scale=TINY_PROFILE, seed=77,
+                                 cache=ArtifactCache(tmp_path / "cache"))
+
+    def test_context_accepts_path_as_cache(self, tmp_path):
+        context = ExperimentContext(scale=TINY_PROFILE, seed=77,
+                                    cache=tmp_path / "cache")
+        assert isinstance(context.cache, ArtifactCache)
+        assert context.describe()["cache_root"] == str(tmp_path / "cache")
+
+    def test_warm_context_matches_cold_context(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = ExperimentContext(scale=TINY_PROFILE, seed=77, cache=cache)
+        cold_corpus = cold.corpus
+        cold_target = cold.target_model
+
+        warm = ExperimentContext(scale=TINY_PROFILE, seed=77, cache=cache)
+        warm_corpus = warm.corpus
+        warm_target = warm.target_model
+
+        np.testing.assert_array_equal(warm_corpus.train.features,
+                                      cold_corpus.train.features)
+        np.testing.assert_array_equal(warm_corpus.test.labels,
+                                      cold_corpus.test.labels)
+        x = cold_corpus.test.features[:16]
+        np.testing.assert_allclose(warm_target.predict_proba(x),
+                                   cold_target.predict_proba(x), atol=1e-9)
+        # Training history rides along with the cached model (Table IV reads
+        # the final train accuracy from it on warm runs).
+        assert warm_target.history.epochs_run == cold_target.history.epochs_run
+        np.testing.assert_allclose(warm_target.history.train_accuracy,
+                                   cold_target.history.train_accuracy)
+
+    def test_warm_context_loads_greybox_adversarial(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = ExperimentContext(scale=TINY_PROFILE, seed=78, cache=cache)
+        cold_advex = cold.greybox_adversarial(theta=0.1, gamma=0.02)
+        warm = ExperimentContext(scale=TINY_PROFILE, seed=78, cache=cache)
+        warm_advex = warm.greybox_adversarial(theta=0.1, gamma=0.02)
+        np.testing.assert_array_equal(warm_advex.features, cold_advex.features)
+
+    def test_different_seeds_do_not_share_artifacts(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        a = ExperimentContext(scale=TINY_PROFILE, seed=1, cache=cache)
+        b = ExperimentContext(scale=TINY_PROFILE, seed=2, cache=cache)
+        assert not np.array_equal(a.corpus.train.features,
+                                  b.corpus.train.features)
+
+    def test_binary_substitute_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cold = ExperimentContext(scale=TINY_PROFILE, seed=79, cache=cache)
+        cold_model = cold.binary_substitute
+        cold_pipeline = cold.binary_pipeline
+        warm = ExperimentContext(scale=TINY_PROFILE, seed=79, cache=cache)
+        warm_model = warm.binary_substitute
+        assert warm.binary_pipeline.n_features == cold_pipeline.n_features
+        x = np.clip(np.random.default_rng(0).random(
+            (8, cold_model.network.input_dim)), 0, 1)
+        np.testing.assert_allclose(warm_model.predict_proba(x),
+                                   cold_model.predict_proba(x), atol=1e-9)

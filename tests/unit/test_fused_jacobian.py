@@ -1,0 +1,134 @@
+"""Tests for the fused single-backward binary Jacobian.
+
+The binary fast path in :meth:`NeuralNetwork.class_gradients` relies on the
+softmax identity ``dF_0/dx == -dF_1/dx``; these tests pin (a) numerical
+agreement with the general per-class loop, (b) the one-backward-pass
+regression guarantee, and (c) float32/float64 engine agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.engine import use_dtype
+from repro.nn.layers import Layer
+from repro.nn.network import NeuralNetwork
+
+
+class BackwardCounter(Layer):
+    """Identity layer that counts backward passes through the network."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.backward_calls = 0
+        self.forward_calls = 0
+
+    def forward(self, inputs, training=False):
+        self.forward_calls += 1
+        return inputs
+
+    def backward(self, grad_output):
+        self.backward_calls += 1
+        return grad_output
+
+    def output_dim(self, input_dim):
+        return input_dim
+
+
+def random_batch(n_features: int, n_samples: int = 5, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((n_samples, n_features))
+
+
+class TestFusedMatchesLoop:
+    @pytest.mark.parametrize("sizes,seed", [
+        ([7, 5, 2], 0),
+        ([12, 16, 8, 2], 1),
+        ([20, 30, 25, 10, 2], 2),
+        ([3, 4, 2], 3),
+    ])
+    def test_fused_matches_per_class_loop(self, sizes, seed):
+        network = NeuralNetwork.mlp(sizes, random_state=seed)
+        x = random_batch(sizes[0], seed=seed)
+        fused = network.class_gradients(x)
+        loop = network.class_gradients(x, fused=False)
+        np.testing.assert_allclose(fused, loop, atol=1e-6)
+
+    def test_fused_matches_loop_under_temperature(self):
+        network = NeuralNetwork.mlp([9, 6, 2], random_state=4, temperature=50.0)
+        x = random_batch(9, seed=4)
+        np.testing.assert_allclose(network.class_gradients(x),
+                                   network.class_gradients(x, fused=False),
+                                   atol=1e-6)
+
+    def test_fused_matches_loop_tanh_activation(self):
+        network = NeuralNetwork.mlp([8, 10, 2], activation="tanh", random_state=5)
+        x = random_batch(8, seed=5)
+        np.testing.assert_allclose(network.class_gradients(x),
+                                   network.class_gradients(x, fused=False),
+                                   atol=1e-6)
+
+    def test_multiclass_ignores_fused_request(self):
+        network = NeuralNetwork.mlp([6, 8, 4], random_state=6)
+        x = random_batch(6, seed=6)
+        jacobian = network.class_gradients(x, fused=True)
+        assert jacobian.shape == (x.shape[0], 4, 6)
+        np.testing.assert_allclose(jacobian,
+                                   network.class_gradients(x, fused=False),
+                                   atol=1e-6)
+
+    def test_binary_rows_cancel_exactly(self):
+        network = NeuralNetwork.mlp([10, 7, 2], random_state=7)
+        jacobian = network.class_gradients(random_batch(10, seed=7))
+        np.testing.assert_array_equal(jacobian[:, 0, :], -jacobian[:, 1, :])
+
+    def test_return_probs_matches_predict_proba(self):
+        network = NeuralNetwork.mlp([11, 6, 2], random_state=8)
+        x = random_batch(11, seed=8)
+        _, probs = network.class_gradients(x, return_probs=True)
+        np.testing.assert_allclose(probs, network.predict_proba(x), atol=1e-12)
+
+
+class TestBackwardPassCount:
+    def _counted_network(self, n_classes: int) -> tuple:
+        counter = BackwardCounter()
+        base = NeuralNetwork.mlp([6, 5, n_classes], random_state=9)
+        network = NeuralNetwork([counter] + list(base.layers),
+                                n_classes=n_classes)
+        return network, counter
+
+    def test_binary_jacobian_uses_exactly_one_backward_pass(self):
+        network, counter = self._counted_network(n_classes=2)
+        network.class_gradients(random_batch(6, seed=9))
+        assert counter.forward_calls == 1
+        assert counter.backward_calls == 1
+
+    def test_per_class_loop_uses_one_backward_per_class(self):
+        network, counter = self._counted_network(n_classes=2)
+        network.class_gradients(random_batch(6, seed=9), fused=False)
+        assert counter.backward_calls == 2
+
+    def test_multiclass_jacobian_uses_one_backward_per_class(self):
+        network, counter = self._counted_network(n_classes=3)
+        network.class_gradients(random_batch(6, seed=10))
+        assert counter.backward_calls == 3
+
+
+class TestEngineDtypeAgreement:
+    def test_predictions_agree_across_dtypes(self):
+        x = random_batch(12, n_samples=64, seed=11)
+        network64 = NeuralNetwork.mlp([12, 16, 8, 2], random_state=12)
+        with use_dtype("float32"):
+            network32 = NeuralNetwork.mlp([12, 16, 8, 2], random_state=12)
+        probs64 = network64.predict_proba(x)
+        probs32 = network32.predict_proba(x.astype(np.float32))
+        assert probs32.dtype == np.float32
+        np.testing.assert_allclose(probs32, probs64, atol=1e-5)
+        np.testing.assert_array_equal(network32.predict(x), network64.predict(x))
+
+    def test_jacobians_agree_across_dtypes(self):
+        x = random_batch(10, seed=13)
+        network64 = NeuralNetwork.mlp([10, 8, 2], random_state=13)
+        with use_dtype("float32"):
+            network32 = NeuralNetwork.mlp([10, 8, 2], random_state=13)
+        np.testing.assert_allclose(network32.class_gradients(x),
+                                   network64.class_gradients(x), atol=1e-5)

@@ -114,6 +114,42 @@ class TestJsmaEffectiveness:
         assert not changed[:, 50:].any()
 
 
+class TestFeaturesPerStep:
+    def test_invalid_features_per_step_rejected(self, tiny_target):
+        with pytest.raises(AttackError):
+            JsmaAttack(tiny_target.network, features_per_step=0)
+
+    def test_budget_respected_with_multi_feature_steps(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.03)
+        budget = constraints.max_features(tiny_malware.n_features)
+        attack = JsmaAttack(tiny_target.network, constraints,
+                            early_stop=False, features_per_step=4)
+        result = attack.run(tiny_malware.features)
+        assert result.perturbed_features.max() <= budget
+        assert constraints.is_feasible(result.adversarial, result.original)
+
+    def test_multi_feature_steps_still_attack(self, tiny_target, tiny_malware):
+        baseline = tiny_target.detection_rate(tiny_malware.features)
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.025),
+                            features_per_step=3)
+        result = attack.run(tiny_malware.features)
+        assert result.detection_rate < baseline - 0.2
+
+    def test_single_feature_step_is_default(self, tiny_target):
+        assert JsmaAttack(tiny_target.network).features_per_step == 1
+
+    def test_full_budget_spent_without_early_stop(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02)
+        budget = constraints.max_features(tiny_malware.n_features)
+        one = JsmaAttack(tiny_target.network, constraints, early_stop=False)
+        many = JsmaAttack(tiny_target.network, constraints, early_stop=False,
+                          features_per_step=budget)
+        assert (one.run(tiny_malware.features).mean_perturbed_features
+                == pytest.approx(many.run(tiny_malware.features).mean_perturbed_features,
+                                 abs=1.0))
+
+
 class TestSelectFeatures:
     def test_select_features_shape(self, tiny_target, tiny_malware):
         attack = JsmaAttack(tiny_target.network)
@@ -138,6 +174,32 @@ class TestSelectFeatures:
     def test_invalid_top_k_rejected(self, tiny_target, tiny_malware):
         with pytest.raises(AttackError):
             JsmaAttack(tiny_target.network).select_features(tiny_malware.features[:1], top_k=0)
+
+    def test_saturated_features_never_selected(self, tiny_target, tiny_malware):
+        # A feature already at clip_max cannot be increased under the
+        # add-only model, so selection must skip it even when its gradient
+        # is the most salient one.
+        attack = JsmaAttack(tiny_target.network)
+        row = tiny_malware.features[:4].copy()
+        baseline = attack.select_features(row, top_k=1)
+        row[np.arange(4), baseline[:, 0]] = attack.constraints.clip_max
+        reselected = attack.select_features(row, top_k=1)
+        for sample in range(4):
+            assert reselected[sample, 0] != baseline[sample, 0]
+
+    def test_selection_consistent_with_attack_under_saturation(self, tiny_target,
+                                                               tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1,
+                                              gamma=1.0 / tiny_malware.n_features)
+        attack = JsmaAttack(tiny_target.network, constraints, early_stop=False)
+        row = tiny_malware.features[:1].copy()
+        first = attack.select_features(row, top_k=1)[0, 0]
+        row[0, first] = constraints.clip_max  # saturate the previous choice
+        selected = attack.select_features(row, top_k=1)[0, 0]
+        result = attack.run(row)
+        changed = np.flatnonzero(np.abs(result.adversarial[0] - result.original[0]) > 1e-12)
+        assert selected in changed
+        assert first not in changed
 
 
 class TestAttackResult:

@@ -1,0 +1,182 @@
+"""Tests for the tensor compute engine (dtype config + buffer reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.exceptions import ConfigurationError
+from repro.nn.engine import (
+    TensorEngine,
+    as_compute,
+    compute_dtype,
+    ensure_buffer,
+    get_engine,
+    set_default_dtype,
+    set_engine,
+    use_dtype,
+)
+from repro.nn.layers import Dense, Parameter
+from repro.nn.network import NeuralNetwork
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer
+
+
+class TestEngineConfiguration:
+    def test_default_dtype_is_float64(self):
+        assert compute_dtype() == np.float64
+
+    def test_set_default_dtype_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert previous == np.float64
+            assert compute_dtype() == np.float32
+        finally:
+            set_default_dtype(previous)
+
+    def test_use_dtype_restores_on_exit(self):
+        with use_dtype("float32"):
+            assert compute_dtype() == np.float32
+        assert compute_dtype() == np.float64
+
+    def test_use_dtype_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_dtype("float32"):
+                raise RuntimeError("boom")
+        assert compute_dtype() == np.float64
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_default_dtype("int32")
+        with pytest.raises(ConfigurationError):
+            TensorEngine(dtype="float16")
+        with pytest.raises(ConfigurationError):
+            # Not a dtype at all (np.dtype raises TypeError internally).
+            set_default_dtype("bogus")
+
+    def test_set_engine_swaps_instance(self):
+        replacement = TensorEngine(dtype="float64", reuse_buffers=False)
+        previous = set_engine(replacement)
+        try:
+            assert get_engine() is replacement
+        finally:
+            set_engine(previous)
+
+    def test_as_compute_avoids_copy_when_possible(self):
+        x = np.zeros((3, 3), dtype=np.float64)
+        assert as_compute(x) is x
+
+    def test_ensure_buffer_reuses_matching_buffer(self):
+        buf = np.empty((4, 5), dtype=np.float64)
+        assert ensure_buffer(buf, (4, 5), np.dtype(np.float64)) is buf
+        assert ensure_buffer(buf, (4, 6), np.dtype(np.float64)) is not buf
+        assert ensure_buffer(None, (2, 2), np.dtype(np.float32)).dtype == np.float32
+
+
+class TestDtypePropagation:
+    def test_parameter_follows_engine_dtype(self):
+        with use_dtype("float32"):
+            param = Parameter("weight", np.ones((2, 2)))
+        assert param.value.dtype == np.float32
+        assert param.grad.dtype == np.float32
+
+    def test_network_built_under_float32_computes_in_float32(self):
+        with use_dtype("float32"):
+            network = NeuralNetwork.mlp([6, 4, 2], random_state=0)
+        logits = network.predict_logits(np.zeros((3, 6)))
+        assert logits.dtype == np.float32
+
+    def test_float32_network_keeps_dtype_after_context_exit(self):
+        with use_dtype("float32"):
+            network = NeuralNetwork.mlp([6, 4, 2], random_state=0)
+        # Engine is back to float64 here, but the network's parameters carry
+        # their dtype with them.
+        assert network.predict_logits(np.zeros((1, 6))).dtype == np.float32
+
+    def test_save_load_roundtrip_preserves_values_and_dtype(self, tmp_path):
+        with use_dtype("float32"):
+            network = NeuralNetwork.mlp([5, 4, 2], random_state=1)
+            network.save(tmp_path / "net32")
+        # Loading under the default (float64) engine must restore the
+        # checkpoint's own compute dtype, not the engine default.
+        restored = NeuralNetwork.load(tmp_path / "net32")
+        assert all(p.value.dtype == np.float32 for p in restored.parameters())
+        x = np.linspace(0.0, 1.0, 10).reshape(2, 5)
+        np.testing.assert_allclose(restored.predict_logits(x),
+                                   network.predict_logits(x), atol=1e-6)
+
+    def test_predict_logits_does_not_alias_reuse_buffers(self):
+        network = NeuralNetwork.mlp([6, 4, 2], random_state=2)
+        rng = np.random.default_rng(0)
+        x1, x2 = rng.random((8, 6)), rng.random((8, 6))
+        first = network.predict_logits(x1)
+        snapshot = first.copy()
+        second = network.predict_logits(x2)
+        assert second is not first
+        np.testing.assert_array_equal(first, snapshot)
+
+
+class TestBufferReuseEquivalence:
+    """Buffer reuse is a pure optimisation: outputs must be identical."""
+
+    def _run_all(self, reuse: bool):
+        engine = TensorEngine(dtype="float64", reuse_buffers=reuse)
+        previous = set_engine(engine)
+        try:
+            rng = np.random.default_rng(42)
+            x = rng.random((32, 9))
+            y = rng.integers(0, 2, size=32)
+            network = NeuralNetwork.mlp([9, 7, 5, 2], random_state=3)
+            trainer = Trainer(network, optimizer=Adam(learning_rate=1e-3),
+                              batch_size=10, epochs=3, random_state=4)
+            history = trainer.fit(x, y)
+            logits = np.array(network.predict_logits(x))
+            jacobian = network.class_gradients(x)
+            grad = network.loss_input_gradient(x, y)
+            return history.train_loss, logits, jacobian, grad
+        finally:
+            set_engine(previous)
+
+    def test_reuse_matches_no_reuse(self):
+        loss_on, logits_on, jac_on, grad_on = self._run_all(reuse=True)
+        loss_off, logits_off, jac_off, grad_off = self._run_all(reuse=False)
+        np.testing.assert_allclose(loss_on, loss_off, rtol=1e-12)
+        np.testing.assert_allclose(logits_on, logits_off, rtol=1e-12)
+        np.testing.assert_allclose(jac_on, jac_off, rtol=1e-12)
+        np.testing.assert_allclose(grad_on, grad_off, rtol=1e-12)
+
+    def test_consecutive_backwards_do_not_clobber_jacobian(self):
+        # The per-class loop runs several backwards off one forward; the
+        # Jacobian rows must not alias the reused layer buffers.
+        network = NeuralNetwork.mlp([8, 6, 3], random_state=5)
+        x = np.random.default_rng(6).random((4, 8))
+        jacobian = network.class_gradients(x)
+        rows = [jacobian[:, i, :].copy() for i in range(3)]
+        again = network.class_gradients(x)
+        for i in range(3):
+            np.testing.assert_array_equal(again[:, i, :], rows[i])
+
+
+class TestAttackDtypeAgreement:
+    def _as_float32(self, network: NeuralNetwork) -> NeuralNetwork:
+        clone = network.clone()
+        for param in clone.parameters():
+            param.value = param.value.astype(np.float32)
+            param.grad = np.zeros_like(param.value)
+        return clone
+
+    def test_jsma_success_rate_matches_across_engines(self, tiny_target, tiny_malware):
+        """The same trained model attacked under float32 vs float64 agrees
+        on the attack success rate within 1% (acceptance criterion)."""
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.025)
+        result64 = JsmaAttack(tiny_target.network, constraints).run(
+            tiny_malware.features)
+        network32 = self._as_float32(tiny_target.network)
+        result32 = JsmaAttack(network32, constraints).run(tiny_malware.features)
+        assert abs(result32.evasion_rate - result64.evasion_rate) <= 0.01 + 1e-9
+
+    def test_predictions_match_across_engines(self, tiny_target, tiny_malware):
+        network32 = self._as_float32(tiny_target.network)
+        np.testing.assert_array_equal(
+            network32.predict(tiny_malware.features),
+            tiny_target.network.predict(tiny_malware.features))
