@@ -13,7 +13,9 @@ The package is organised bottom-up:
 * :mod:`repro.defenses` — adversarial training, defensive distillation,
   feature squeezing, PCA dimensionality reduction and their ensemble,
 * :mod:`repro.evaluation` — security curves, L2 analysis and table rendering,
-* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.experiments` — one driver per paper table/figure,
+* :mod:`repro.serving` — the batched malware-scoring service (model
+  registry, micro-batcher, verdict facade, load generator).
 
 Quickstart::
 
@@ -57,6 +59,15 @@ from repro.experiments import ExperimentContext, available_experiments, run_expe
 from repro.features import FeaturePipeline
 from repro.models import SubstituteModel, TargetModel
 from repro.nn import NeuralNetwork, compute_dtype, set_default_dtype, use_dtype
+from repro.serving import (
+    LoadGenerator,
+    MicroBatcher,
+    ModelRegistry,
+    ScoringService,
+    ServableModel,
+    TrafficMix,
+    Verdict,
+)
 from repro.utils import ArtifactCache
 from repro.version import __version__
 
@@ -79,4 +90,7 @@ __all__ = [
     "DimensionalityReductionDefense", "EnsembleDefense", "PCA",
     # experiments
     "ExperimentContext", "run_experiment", "available_experiments",
+    # serving
+    "ModelRegistry", "ServableModel", "ScoringService", "MicroBatcher",
+    "LoadGenerator", "TrafficMix", "Verdict",
 ]

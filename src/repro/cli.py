@@ -1,4 +1,4 @@
-"""Command-line interface for running the paper's experiments.
+"""Command-line interface for the experiments and the scoring service.
 
 Usage examples::
 
@@ -8,24 +8,43 @@ Usage examples::
     repro-experiments run-all --scale tiny
     repro-experiments run-all --scale small --cache-dir .repro-cache
 
+    repro-experiments serve --scale small --cache-dir default --requests 512
+    repro-experiments score sample.log --scale tiny --cache-dir default
+    repro-experiments cache-info --cache-dir default
+
 ``run`` prints the experiment's rendered table/figure to stdout and (with
 ``--out``) also writes it to ``<out>/<experiment>.txt``.  ``--cache-dir``
 attaches an :class:`~repro.utils.artifact_cache.ArtifactCache` so the
 corpus and trained models persist across invocations — a warm ``run-all``
-skips straight to the attack/defense measurements.
+or ``serve`` skips straight to the measurement.  ``--dtype`` selects the
+compute engine precision per invocation (first-class alternative to the
+``REPRO_DTYPE`` environment variable).
+
+``serve`` replays a synthetic clean/malware/adversarial request stream
+through the batched :class:`~repro.serving.service.ScoringService` and
+reports throughput and latency quantiles; ``score`` renders the structured
+verdict for one API log file (Table II text or JSON counts); ``cache-info``
+lists the artifact-cache entries with sizes and version compatibility.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.apilog.log_format import ApiLog
 from repro.config import PROFILES, get_profile
+from repro.exceptions import ServingError
 from repro.experiments import ExperimentContext, available_experiments
 from repro.experiments.registry import EXPERIMENTS
 from repro.utils.artifact_cache import ArtifactCache
+
+#: Defense endpoints the ``serve``/``score`` commands can wrap the model in.
+DEFENSE_CHOICES = ("none", "squeeze", "ensemble")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,7 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of 'Malware Evasion "
-                    "Attack and Defense' (DSN 2019) on the synthetic substrate.",
+                    "Attack and Defense' (DSN 2019) on the synthetic substrate, "
+                    "and serve the trained detector as a batched scoring service.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -50,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the corpus and trained models under DIR "
                               "so warm runs skip retraining (pass 'default' for "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-dsn2019)")
+        sub.add_argument("--dtype", choices=("float32", "float64"), default=None,
+                         help="compute dtype for artifacts built by this "
+                              "invocation (default: $REPRO_DTYPE or float64)")
+
+    def add_serving_model(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--model", default="target",
+                         help="registered model bundle to serve (default: target)")
+        sub.add_argument("--defense", choices=DEFENSE_CHOICES, default="none",
+                         help="wrap the endpoint in a Table VI defense")
+        sub.add_argument("--threshold", type=float, default=0.5,
+                         help="malware-probability decision threshold (default: 0.5)")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=available_experiments(),
@@ -58,6 +89,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     add_common(run_all_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="replay a synthetic request stream through the scoring "
+                      "service and report throughput/latency")
+    add_common(serve_parser)
+    add_serving_model(serve_parser)
+    serve_parser.add_argument("--requests", type=int, default=256,
+                              help="number of requests to replay (default: 256)")
+    serve_parser.add_argument("--batch-size", type=int, default=32,
+                              help="micro-batch flush size (default: 32)")
+    serve_parser.add_argument("--max-delay-ms", type=float, default=2.0,
+                              help="micro-batch latency SLO in ms (default: 2)")
+    serve_parser.add_argument("--mix", default="0.5,0.4,0.1", metavar="C,M,A",
+                              help="clean,malware,adversarial traffic fractions "
+                                   "(default: 0.5,0.4,0.1; adversarial traffic "
+                                   "trains the substitute and runs JSMA once)")
+    serve_parser.add_argument("--rate", type=float, default=None,
+                              help="replay rate in requests/s (default: as fast "
+                                   "as the service accepts them)")
+
+    score_parser = subparsers.add_parser(
+        "score", help="score one API log file and print the structured verdict")
+    score_parser.add_argument("log_file", type=Path,
+                              help="Table II text log, or JSON ({'api': count} "
+                                   "mapping / {'api_counts': ...} object)")
+    add_common(score_parser)
+    add_serving_model(score_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache-info", help="list artifact-cache entries, sizes and versions")
+    cache_parser.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                              help="cache root to inspect (pass 'default' for "
+                                   "$REPRO_CACHE_DIR or ~/.cache/repro-dsn2019)")
     return parser
 
 
@@ -67,6 +131,133 @@ def _emit(name: str, rendered: str, out_dir: Optional[Path]) -> None:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         (out_dir / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+
+
+def _cache_from(cache_dir: Optional[Path]) -> Optional[ArtifactCache]:
+    if cache_dir is None:
+        return None
+    return ArtifactCache() if str(cache_dir) == "default" else ArtifactCache(cache_dir)
+
+
+def load_scoring_source(path: Path):
+    """Read a log file into something the scoring service accepts.
+
+    ``.json`` files may carry a plain ``{"api": count}`` mapping, an object
+    with an ``api_counts`` mapping, or an object with a ``log`` string in the
+    Table II text format.  Any other extension is parsed as Table II text.
+    """
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".json":
+        data = json.loads(text)
+        if isinstance(data, dict) and "api_counts" in data:
+            data = data["api_counts"]
+        if isinstance(data, dict) and "log" in data:
+            return ApiLog.from_text(str(data["log"]), sample_id=path.stem)
+        if isinstance(data, dict) and all(
+                isinstance(count, (int, float)) for count in data.values()):
+            return {str(api): int(count) for api, count in data.items()}
+        raise ServingError(
+            f"{path} must contain an api->count mapping, an 'api_counts' "
+            f"object, or a 'log' text field")
+    return ApiLog.from_text(text, sample_id=path.stem)
+
+
+def _build_detector(defense: str, servable, context):
+    """Instantiate the requested defense endpoint over ``servable``."""
+    if defense == "none":
+        return None
+    from repro.defenses.base import ModelBackedDetector
+    from repro.defenses.feature_squeezing import FeatureSqueezingDefense
+
+    squeezed = FeatureSqueezingDefense().fit(servable.model.network,
+                                             context.corpus.validation)
+    if defense == "squeeze":
+        return squeezed
+    from repro.defenses.ensemble import EnsembleDefense
+
+    base = ModelBackedDetector(servable.model, name="base_model")
+    return EnsembleDefense(voting="average").fit([base, squeezed])
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import LoadGenerator, ModelRegistry, ScoringService, TrafficMix, replay
+
+    cache = _cache_from(args.cache_dir)
+    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
+                                cache=cache, dtype=args.dtype)
+    registry = ModelRegistry(cache=cache)
+    servable = registry.get(args.model, context=context)
+    detector = _build_detector(args.defense, servable, context)
+    service = ScoringService(servable, detector=detector, threshold=args.threshold,
+                             max_batch_size=args.batch_size,
+                             max_delay_ms=args.max_delay_ms)
+    generator = LoadGenerator(context, mix=TrafficMix.parse(args.mix), seed=args.seed)
+    requests = generator.generate(args.requests)
+
+    start = time.perf_counter()
+    verdicts = replay(service, requests, rate_per_s=args.rate, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    report = service.report(elapsed)
+
+    flagged = sum(verdict.is_malware for verdict in verdicts)
+    by_kind = {}
+    for verdict in verdicts:
+        kind = verdict.request_id.split("-", 1)[0]
+        hits, total = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (hits + int(verdict.is_malware), total + 1)
+    lines = [
+        f"scoring service — model {servable.name} v{servable.version} "
+        f"(scale {servable.scale.name}, seed {servable.seed}, dtype {servable.dtype})",
+        f"endpoint: defense={service.defense_name or 'none'} "
+        f"threshold={service.threshold} batch_size={service.max_batch_size} "
+        f"max_delay_ms={service.max_delay_ms}",
+        f"traffic: {args.requests} requests, mix {args.mix}"
+        + (f", rate {args.rate:g} req/s" if args.rate else ", unpaced"),
+        f"verdicts: {flagged} flagged malware / {len(verdicts)} scored "
+        f"in {service.n_batches} fused batches",
+    ]
+    for kind in sorted(by_kind):
+        hits, total = by_kind[kind]
+        lines.append(f"  {kind:<8} {hits}/{total} flagged malware")
+    lines.append(report.render())
+    _emit("serve", "\n".join(lines), args.out)
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from repro.serving import ModelRegistry, ScoringService
+
+    source = load_scoring_source(args.log_file)
+    cache = _cache_from(args.cache_dir)
+    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
+                                cache=cache, dtype=args.dtype)
+    registry = ModelRegistry(cache=cache)
+    servable = registry.get(args.model, context=context)
+    detector = _build_detector(args.defense, servable, context)
+    service = ScoringService(servable, detector=detector, threshold=args.threshold)
+    verdict = service.score(source, request_id=args.log_file.stem)
+    _emit("score", json.dumps(verdict.as_dict(), indent=2, sort_keys=True), args.out)
+    return 0
+
+
+def _cmd_cache_info(args) -> int:
+    cache = _cache_from(args.cache_dir if args.cache_dir is not None else Path("default"))
+    entries = cache.entries()
+    print(f"cache root: {cache.root}")
+    if not entries:
+        print("(no cached artifacts)")
+        return 0
+    print(f"{'kind':<22} {'key':<18} {'version':<10} {'size':>10} {'files':>6}  state")
+    total = 0
+    for entry in entries:
+        total += entry.size_bytes
+        state = ("ok" if entry.compatible
+                 else ("incomplete" if not entry.complete else "stale-version"))
+        version = entry.package_version or "unstamped"
+        print(f"{entry.kind:<22} {entry.key:<18} {version:<10} "
+              f"{entry.size_bytes:>10,} {entry.n_files:>6}  {state}")
+    print(f"{len(entries)} entries, {total:,} bytes total")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -79,12 +270,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{experiment_id:<14} {spec.title}  [{spec.paper_section}]")
         return 0
 
-    cache = None
-    if args.cache_dir is not None:
-        cache = (ArtifactCache() if str(args.cache_dir) == "default"
-                 else ArtifactCache(args.cache_dir))
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "score":
+        return _cmd_score(args)
+    if args.command == "cache-info":
+        return _cmd_cache_info(args)
+
+    cache = _cache_from(args.cache_dir)
     context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
-                                cache=cache)
+                                cache=cache, dtype=args.dtype)
     if args.command == "run":
         result = EXPERIMENTS[args.experiment].runner(context)
         _emit(args.experiment, result.render(), args.out)

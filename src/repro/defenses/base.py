@@ -39,6 +39,17 @@ class DefendedDetector:
         """Malware probability per sample (defaults to the hard decision)."""
         return self.predict(features).astype(np.float64)
 
+    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(malware confidences, hard labels)`` for one feature matrix.
+
+        The results are exactly ``malware_confidence(features)`` and
+        ``predict(features)``; detectors whose two surfaces share expensive
+        intermediates (squeezed forward passes, member votes) override this
+        to compute both in one evaluation — the scoring service's per-batch
+        hot path.
+        """
+        return self.malware_confidence(features), self.predict(features)
+
     def detection_rate(self, features: np.ndarray) -> float:
         """Fraction of the batch flagged as malware."""
         return detection_rate(self.predict(features), positive_class=CLASS_MALWARE)
@@ -68,6 +79,15 @@ class ModelBackedDetector(DefendedDetector):
         if hasattr(self.model, "malware_score"):
             return self.model.malware_score(features)
         return super().malware_confidence(features)
+
+    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One ``predict_proba`` pass yields both surfaces when available."""
+        features = check_matrix(features, name="features")
+        if hasattr(self.model, "predict_proba"):
+            probabilities = np.asarray(self.model.predict_proba(features))
+            return (probabilities[:, CLASS_MALWARE],
+                    np.argmax(probabilities, axis=1))
+        return super().decide(features)
 
 
 class Defense:

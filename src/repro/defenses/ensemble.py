@@ -59,6 +59,28 @@ class EnsembleDetector(DefendedDetector):
         return np.where(self.malware_confidence(features) >= 0.5,
                         CLASS_MALWARE, CLASS_CLEAN)
 
+    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Confidences and labels from one ``decide`` pass per member.
+
+        Calling ``malware_confidence`` + ``predict`` separately evaluates
+        every member twice (and members like the squeezing detector are
+        themselves multi-forward); one shared member pass halves the
+        ensemble's serving cost with identical decisions.
+        """
+        features = check_matrix(features, name="features")
+        member_votes = [member.decide(features) for member in self.members]
+        confidences = np.stack([conf for conf, _ in member_votes], axis=0)
+        if self.voting == "any":
+            labels = np.stack([label for _, label in member_votes], axis=0)
+            return (confidences.max(axis=0),
+                    np.where(labels.max(axis=0) == CLASS_MALWARE,
+                             CLASS_MALWARE, CLASS_CLEAN))
+        if self.voting == "majority":
+            combined = (confidences >= 0.5).mean(axis=0)
+        else:
+            combined = confidences.mean(axis=0)
+        return combined, np.where(combined >= 0.5, CLASS_MALWARE, CLASS_CLEAN)
+
 
 class EnsembleDefense(Defense):
     """Build an :class:`EnsembleDetector` from already-fitted defenses."""

@@ -100,6 +100,21 @@ class SqueezedDetector(DefendedDetector):
         base = self.network.malware_score(features)
         return np.where(self.is_adversarial(features), 1.0, base)
 
+    def decide(self, features: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Confidences and labels from one original + one squeezed forward.
+
+        ``predict`` + ``malware_confidence`` would run six network forwards
+        per batch (each recomputes the L1 scores from scratch); sharing the
+        two probability matrices yields identical results in two.
+        """
+        features = check_matrix(features, name="features")
+        original = self.network.predict_proba(features)
+        squeezed = self.network.predict_proba(self.squeezer(features))
+        flagged = np.abs(original - squeezed).sum(axis=1) > self.threshold
+        confidences = np.where(flagged, 1.0, original[:, CLASS_MALWARE])
+        labels = np.where(flagged, CLASS_MALWARE, np.argmax(original, axis=1))
+        return confidences, labels
+
 
 class FeatureSqueezingDefense(Defense):
     """Calibrate a squeezing detector on legitimate data.

@@ -46,3 +46,7 @@ class SandboxError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by dataset construction and splitting utilities."""
+
+
+class ServingError(ReproError):
+    """Raised by the scoring service, model registry and load generator."""

@@ -21,6 +21,7 @@ invalidation rules).
 from __future__ import annotations
 
 import json
+from contextlib import nullcontext
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -41,7 +42,7 @@ from repro.models.factory import (
 from repro.models.substitute_model import SubstituteModel
 from repro.models.target_model import TargetModel
 from repro.models.base import DetectorModel
-from repro.nn.engine import compute_dtype
+from repro.nn.engine import compute_dtype, resolve_dtype, use_dtype
 from repro.nn.training import TrainingHistory
 from repro.utils.artifact_cache import ArtifactCache
 from repro.utils.rng import SeedSequence
@@ -61,12 +62,21 @@ class ExperimentContext:
         cache-root path) that persists the corpus, trained models and
         adversarial sets across processes.  ``None`` (the default) keeps the
         in-process lazy behaviour only.
+    dtype:
+        Optional compute dtype (``"float32"``/``"float64"``) for every
+        artifact this context builds.  ``None`` (the default) follows the
+        process-wide engine dtype (``REPRO_DTYPE``).  When set, artifact
+        builds run under :func:`~repro.nn.engine.use_dtype`, so the trained
+        networks carry the dtype with them without mutating global engine
+        state.
     """
 
     def __init__(self, scale: Optional[ScaleProfile] = None, seed: int = 0,
-                 cache: Optional[Union[ArtifactCache, str, Path]] = None) -> None:
+                 cache: Optional[Union[ArtifactCache, str, Path]] = None,
+                 dtype=None) -> None:
         self.scale = scale if scale is not None else default_profile()
         self.seed = seed
+        self.dtype = resolve_dtype(dtype) if dtype is not None else None
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
@@ -83,17 +93,26 @@ class ExperimentContext:
     # ------------------------------------------------------------------ #
     # Artifact-cache plumbing
     # ------------------------------------------------------------------ #
+    def effective_dtype(self):
+        """The dtype artifacts are built under (context override or engine)."""
+        return self.dtype if self.dtype is not None else compute_dtype()
+
+    def _dtype_scope(self):
+        """Context manager activating this context's dtype override (if any)."""
+        return use_dtype(self.dtype) if self.dtype is not None else nullcontext()
+
     def _cache_key(self, kind: str, **extra) -> str:
         """Cache key covering scale, seed, compute dtype and ``extra``."""
         return self.cache.key_for(kind, scale=asdict(self.scale), seed=self.seed,
-                                  dtype=str(compute_dtype()), **extra)
+                                  dtype=str(self.effective_dtype()), **extra)
 
     def _cached(self, kind: str, build, save, load, **extra):
         """Build through the artifact cache when one is attached."""
-        if self.cache is None:
-            return build()
-        return self.cache.load_or_build(kind, self._cache_key(kind, **extra),
-                                        build, save, load)
+        with self._dtype_scope():
+            if self.cache is None:
+                return build()
+            return self.cache.load_or_build(kind, self._cache_key(kind, **extra),
+                                            build, save, load)
 
     @staticmethod
     def _save_model(model: DetectorModel, path: Path) -> None:
@@ -289,6 +308,7 @@ class ExperimentContext:
         return {
             "scale": self.scale.name,
             "seed": self.seed,
+            "dtype": str(self.effective_dtype()),
             "cache_root": str(self.cache.root) if self.cache is not None else None,
             "corpus_built": self._corpus is not None,
             "target_trained": self._target is not None,

@@ -56,10 +56,16 @@ class CountExtractor:
         return vector
 
     def extract_batch(self, sources: Iterable[CountSource]) -> np.ndarray:
-        """Extract a matrix of raw counts, one row per source."""
+        """Extract a matrix of raw counts, one row per source.
+
+        An empty iterable yields a well-formed ``(0, n_features)`` matrix —
+        the serving path sees empty micro-batches and must not raise.
+        Likewise a log whose APIs are all unmonitored extracts to an all-zero
+        row rather than an error (the detector simply observes nothing).
+        """
         rows = [self.extract(source) for source in sources]
         if not rows:
-            raise ShapeError("extract_batch received no sources")
+            return np.zeros((0, self.n_features), dtype=np.float64)
         return np.vstack(rows)
 
     def monitored_fraction(self, source: CountSource) -> float:

@@ -61,10 +61,18 @@ class FeaturePipeline:
         return self.fit_counts(self.extractor.extract_batch(sources))
 
     def transform_counts(self, raw_counts: np.ndarray) -> np.ndarray:
-        """Transform a matrix of raw counts into model-input features."""
+        """Transform a matrix of raw counts into model-input features.
+
+        A zero-row matrix (an empty scoring batch) maps to a zero-row
+        feature matrix; a zero *vector* (an empty or fully-unmonitored log)
+        transforms like any other row, yielding the all-zero feature vector.
+        """
         if not self.is_fitted:
             raise NotFittedError("FeaturePipeline must be fitted before transform")
-        return self.transformer.transform(raw_counts)
+        raw = np.asarray(raw_counts, dtype=np.float64)
+        if raw.ndim == 2 and raw.shape[0] == 0:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return self.transformer.transform(raw)
 
     def transform(self, sources: Iterable[CountSource]) -> np.ndarray:
         """Transform logs / count mappings into model-input features."""

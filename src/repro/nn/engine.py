@@ -71,6 +71,11 @@ def _resolve_dtype(dtype) -> np.dtype:
     return resolved
 
 
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalise/validate a compute-dtype spec (``"float32"``/``"float64"``)."""
+    return _resolve_dtype(dtype)
+
+
 def _env_default_dtype() -> np.dtype:
     return _resolve_dtype(os.environ.get(_ENV_DTYPE_VAR, "float64"))
 

@@ -1,0 +1,144 @@
+"""Fixed-size / fixed-latency micro-batching of scoring requests.
+
+An online detector receives requests one at a time but the compute engine is
+dramatically more efficient per sample when it scores a whole matrix in one
+fused ``predict_proba`` call.  :class:`MicroBatcher` bridges the two: it
+accumulates submitted items and flushes them as one batch when either
+
+* the batch reaches ``max_batch_size`` (fixed-size flush), or
+* the *oldest* pending item has waited ``max_delay_ms`` (fixed-latency
+  flush, checked by :meth:`poll`),
+
+whichever comes first.  The batcher is synchronous and single-threaded by
+design — the caller drives it (``submit`` → maybe ``poll`` → finally
+``flush``), which keeps the semantics deterministic and testable with an
+injected clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.exceptions import ServingError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class MicroBatcher(Generic[T, R]):
+    """Accumulate items and flush them through ``flush_fn`` in batches.
+
+    Parameters
+    ----------
+    flush_fn:
+        Called with the list of pending items on every flush; must return
+        exactly one result per item, in order.
+    max_batch_size:
+        Flush as soon as this many items are pending.
+    max_delay_ms:
+        Maximum time the oldest pending item may wait before :meth:`poll`
+        forces a flush.  ``0`` makes every :meth:`poll` flush.
+    clock:
+        Monotonic time source in seconds (injectable for tests).
+    """
+
+    def __init__(self, flush_fn: Callable[[List[T]], Sequence[R]],
+                 max_batch_size: int = 32, max_delay_ms: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_batch_size < 1:
+            raise ServingError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_delay_ms < 0:
+            raise ServingError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self._flush_fn = flush_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_ms = float(max_delay_ms)
+        self._clock = clock
+        self._pending: List[T] = []
+        self._oldest_enqueued_at: Optional[float] = None
+        self.n_submitted = 0
+        self.n_flushes = 0
+        self.batch_sizes: List[int] = []
+
+    @property
+    def pending(self) -> int:
+        """Number of items waiting for the next flush."""
+        return len(self._pending)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Clock time at which the pending batch must flush (None when empty)."""
+        if self._oldest_enqueued_at is None:
+            return None
+        return self._oldest_enqueued_at + self.max_delay_ms / 1000.0
+
+    def submit(self, item: T) -> List[R]:
+        """Enqueue one item; returns flushed results when this fills the batch.
+
+        While the batch is still accumulating the return value is ``[]`` —
+        results for the enqueued item arrive from the flush that eventually
+        includes it.
+        """
+        if self._oldest_enqueued_at is None:
+            self._oldest_enqueued_at = self._clock()
+        self._pending.append(item)
+        self.n_submitted += 1
+        if len(self._pending) >= self.max_batch_size:
+            return self.flush()
+        return []
+
+    def submit_many(self, items: Sequence[T]) -> List[R]:
+        """Enqueue several items, collecting results of any triggered flushes."""
+        results: List[R] = []
+        for item in items:
+            results.extend(self.submit(item))
+        return results
+
+    def poll(self) -> List[R]:
+        """Flush if the oldest pending item has exceeded ``max_delay_ms``."""
+        deadline = self.deadline
+        if deadline is not None and self._clock() >= deadline:
+            return self.flush()
+        return []
+
+    def clear(self) -> List[T]:
+        """Drop and return every pending item without flushing.
+
+        The recovery path after a failing flush (which restores the batch):
+        the caller takes the items back, removes the offender and resubmits
+        the rest.
+        """
+        dropped, self._pending = self._pending, []
+        self._oldest_enqueued_at = None
+        return dropped
+
+    def flush(self) -> List[R]:
+        """Flush whatever is pending (no-op on an empty batch).
+
+        If ``flush_fn`` raises, the batch is restored to the front of the
+        queue before the exception propagates — one bad item must not
+        silently destroy every other queued item; the caller can take the
+        items back with :meth:`clear`, drop the offender and resubmit the
+        rest.
+        """
+        if not self._pending:
+            return []
+        batch, self._pending = self._pending, []
+        oldest, self._oldest_enqueued_at = self._oldest_enqueued_at, None
+        try:
+            results = list(self._flush_fn(batch))
+            if len(results) != len(batch):
+                raise ServingError(
+                    f"flush_fn returned {len(results)} results for a batch of "
+                    f"{len(batch)}")
+        except Exception:
+            self._pending = batch + self._pending
+            self._oldest_enqueued_at = oldest
+            raise
+        self.n_flushes += 1
+        self.batch_sizes.append(len(batch))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MicroBatcher(max_batch_size={self.max_batch_size}, "
+                f"max_delay_ms={self.max_delay_ms}, pending={self.pending})")

@@ -1,0 +1,348 @@
+"""The scoring service facade: API logs in, structured verdicts out.
+
+:class:`ScoringService` exposes the trained ``log → features → verdict``
+path as a reusable service.  Requests may carry a raw :class:`ApiLog`, a
+pre-aggregated ``api -> count`` mapping, or an already-featurised vector
+(the form adversarial traffic arrives in); every batch is featurised and
+driven through a *single* fused ``predict_proba`` call on the engine path.
+
+Two endpoint flavours coexist over the same bundle:
+
+* **undefended** — the bare detector; the verdict label is the malware
+  probability thresholded at :attr:`ScoringService.threshold`;
+* **defended** — any :class:`~repro.defenses.base.DefendedDetector`
+  (feature squeezing, ensemble, ...) wraps the decision, exactly as the
+  Table VI evaluation consumes them.
+
+Per-request latencies accumulate in a
+:class:`~repro.serving.stats.LatencyTracker` so the ``serve`` CLI and the
+benchmark harness report p50/p95/throughput from real observations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.apilog.log_format import ApiLog
+from repro.config import CLASS_MALWARE, CLASS_NAMES
+from repro.defenses.base import DefendedDetector
+from repro.exceptions import ServingError
+from repro.features.extraction import CountSource
+from repro.serving.batcher import MicroBatcher
+from repro.serving.registry import ServableModel
+from repro.serving.stats import LatencyTracker, ThroughputReport
+
+#: What a scoring request may carry: a log, a count mapping, or a feature row.
+RequestPayload = Union[ApiLog, Mapping[str, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ScoringRequest:
+    """One unit of scoring work submitted to the service."""
+
+    request_id: str
+    payload: RequestPayload
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The structured result the service returns for one request."""
+
+    request_id: str
+    malware_probability: float
+    label: int
+    verdict: str
+    threshold: float
+    model_name: str
+    model_version: str
+    defense: Optional[str]
+    latency_ms: float
+
+    @property
+    def is_malware(self) -> bool:
+        """Whether the request was flagged as malware."""
+        return self.label == CLASS_MALWARE
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        data = asdict(self)
+        data["malware_probability"] = round(float(data["malware_probability"]), 6)
+        data["latency_ms"] = round(float(data["latency_ms"]), 6)
+        return data
+
+
+class ScoringService:
+    """Batched malware scoring over one :class:`ServableModel`.
+
+    Parameters
+    ----------
+    servable:
+        The model + pipeline bundle (from a
+        :class:`~repro.serving.registry.ModelRegistry`).
+    detector:
+        Optional defended detector wrapping the decision.  ``None`` serves
+        the bare model.
+    threshold:
+        Malware-probability decision threshold for the undefended endpoint
+        (strictly-greater comparison, so the default ``0.5`` reproduces the
+        model's own ``argmax`` decision).
+    max_batch_size / max_delay_ms:
+        Micro-batching knobs for the online :meth:`submit` path.
+    clock:
+        Time source in seconds (injectable for deterministic tests).
+    """
+
+    def __init__(self, servable: ServableModel,
+                 detector: Optional[DefendedDetector] = None,
+                 threshold: float = 0.5,
+                 max_batch_size: int = 32, max_delay_ms: float = 2.0,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ServingError(f"threshold must lie in [0, 1], got {threshold}")
+        self.servable = servable
+        self.detector = detector
+        self.threshold = float(threshold)
+        self._clock = clock
+        self.tracker = LatencyTracker()
+        self._batcher: MicroBatcher[Tuple[ScoringRequest, float], Verdict] = MicroBatcher(
+            self._flush_items, max_batch_size=max_batch_size,
+            max_delay_ms=max_delay_ms, clock=clock)
+        self._request_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pipeline(self):
+        """The bundle's feature pipeline."""
+        return self.servable.pipeline
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality the service scores."""
+        return self.servable.n_features
+
+    @property
+    def defense_name(self) -> Optional[str]:
+        """Name of the wrapping defense (None for the undefended endpoint)."""
+        return self.detector.name if self.detector is not None else None
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting in the micro-batcher."""
+        return self._batcher.pending
+
+    @property
+    def max_batch_size(self) -> int:
+        """The micro-batcher's fixed-size flush threshold."""
+        return self._batcher.max_batch_size
+
+    @property
+    def max_delay_ms(self) -> float:
+        """The micro-batcher's latency SLO in milliseconds."""
+        return self._batcher.max_delay_ms
+
+    @property
+    def n_batches(self) -> int:
+        """Fused batches scored so far."""
+        return self._batcher.n_flushes
+
+    # ------------------------------------------------------------------ #
+    # Request construction / featurisation
+    # ------------------------------------------------------------------ #
+    def make_request(self, source: Union[ScoringRequest, RequestPayload],
+                     request_id: Optional[str] = None) -> ScoringRequest:
+        """Coerce a payload into a :class:`ScoringRequest` with a stable id.
+
+        Raw payloads are validated here — at the door — so a malformed
+        request is rejected on :meth:`submit` instead of poisoning the whole
+        micro-batch at flush time.  Pre-wrapped :class:`ScoringRequest`
+        objects (bulk streams from trusted producers like the load
+        generator) take the fast path and are validated per batch on flush;
+        if one does fail there, the batcher restores the other queued
+        requests rather than dropping them.
+        """
+        if isinstance(source, ScoringRequest):
+            return source
+        if isinstance(source, np.ndarray):
+            vector = np.asarray(source, dtype=np.float64).reshape(-1)
+            if vector.shape[0] != self.n_features:
+                raise ServingError(
+                    f"request carries {vector.shape[0]} features but the model "
+                    f"expects {self.n_features}")
+            if not np.all(np.isfinite(vector)):
+                raise ServingError("request carries non-finite features")
+            source = vector          # store the validated (n_features,) shape
+        elif isinstance(source, Mapping):
+            negatives = [api for api, count in source.items() if count < 0]
+            if negatives:
+                raise ServingError(
+                    f"request carries negative counts for {negatives[:3]}")
+        elif not isinstance(source, ApiLog):
+            raise ServingError(
+                f"unsupported payload type {type(source).__name__}; expected an "
+                f"ApiLog, an api->count mapping, or a feature vector")
+        if request_id is None:
+            if isinstance(source, ApiLog) and source.sample_id != "unknown":
+                request_id = source.sample_id
+            else:
+                self._request_counter += 1
+                request_id = f"req-{self._request_counter:06d}"
+        return ScoringRequest(request_id=request_id, payload=source)
+
+    def _features_of(self, requests: Sequence[ScoringRequest]) -> np.ndarray:
+        """Featurise a batch: one row per request, logs through the pipeline.
+
+        Pre-featurised payloads are validated and stacked with whole-batch
+        numpy calls (not per row) — the micro-batcher's throughput win
+        depends on the per-request Python overhead staying O(1) per batch.
+        """
+        feature_indices: List[int] = []
+        feature_payloads: List[np.ndarray] = []
+        log_indices: List[int] = []
+        log_sources: List[CountSource] = []
+        for index, request in enumerate(requests):
+            payload = request.payload
+            if isinstance(payload, np.ndarray):
+                feature_indices.append(index)
+                feature_payloads.append(payload)
+            elif isinstance(payload, (ApiLog, Mapping)):
+                log_indices.append(index)
+                log_sources.append(payload)
+            else:
+                raise ServingError(
+                    f"request {request.request_id!r} has unsupported payload type "
+                    f"{type(payload).__name__}")
+        rows = np.zeros((len(requests), self.n_features), dtype=np.float64)
+        if feature_payloads:
+            shapes = {payload.shape for payload in feature_payloads}
+            if shapes != {(self.n_features,)}:
+                bad = next(request for request in requests
+                           if isinstance(request.payload, np.ndarray)
+                           and request.payload.shape != (self.n_features,))
+                raise ServingError(
+                    f"request {bad.request_id!r} carries features of shape "
+                    f"{bad.payload.shape} but the model expects ({self.n_features},)")
+            matrix = np.asarray(feature_payloads, dtype=np.float64)
+            if not np.all(np.isfinite(matrix)):
+                bad_row = int(np.flatnonzero(~np.isfinite(matrix).all(axis=1))[0])
+                raise ServingError(
+                    f"request {requests[feature_indices[bad_row]].request_id!r} "
+                    f"carries non-finite features")
+            rows[feature_indices] = matrix
+        if log_sources:
+            rows[log_indices] = self.pipeline.transform(log_sources)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Scoring core (one fused predict per batch)
+    # ------------------------------------------------------------------ #
+    def _decide(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(malware probabilities, hard labels) from one fused model call."""
+        if self.detector is not None:
+            probabilities, labels = self.detector.decide(features)
+        else:
+            probabilities = self.servable.model.malware_confidence(features)
+            labels = (probabilities > self.threshold).astype(np.int64)
+        return np.asarray(probabilities, dtype=np.float64), np.asarray(labels)
+
+    def _verdicts_for(self, requests: Sequence[ScoringRequest],
+                      enqueued_at: Sequence[float]) -> List[Verdict]:
+        features = self._features_of(requests)
+        if features.shape[0] == 0:
+            return []
+        probabilities, labels = self._decide(features)
+        finished = self._clock()
+        # Hot loop: one Verdict per request per batch — keep lookups local.
+        record = self.tracker.record
+        threshold = self.threshold
+        model_name = self.servable.name
+        model_version = self.servable.version
+        defense = self.defense_name
+        verdicts = []
+        for request, started, probability, label in zip(
+                requests, enqueued_at, probabilities, labels):
+            latency_ms = max(0.0, (finished - started) * 1000.0)
+            record(latency_ms)
+            label = int(label)
+            verdicts.append(Verdict(
+                request_id=request.request_id,
+                malware_probability=float(probability),
+                label=label,
+                verdict=CLASS_NAMES[label],
+                threshold=threshold,
+                model_name=model_name,
+                model_version=model_version,
+                defense=defense,
+                latency_ms=latency_ms,
+            ))
+        return verdicts
+
+    def _flush_items(self, items: List[Tuple[ScoringRequest, float]]) -> List[Verdict]:
+        requests = [request for request, _ in items]
+        enqueued = [started for _, started in items]
+        return self._verdicts_for(requests, enqueued)
+
+    # ------------------------------------------------------------------ #
+    # Public scoring API
+    # ------------------------------------------------------------------ #
+    def score(self, source: Union[ScoringRequest, RequestPayload],
+              request_id: Optional[str] = None) -> Verdict:
+        """Score one request immediately (batch of one)."""
+        request = self.make_request(source, request_id)
+        return self._verdicts_for([request], [self._clock()])[0]
+
+    def score_many(self, sources: Sequence[Union[ScoringRequest, RequestPayload]]
+                   ) -> List[Verdict]:
+        """Score a whole collection as one fused batch (the offline path)."""
+        requests = [self.make_request(source) for source in sources]
+        started = self._clock()
+        return self._verdicts_for(requests, [started] * len(requests))
+
+    def submit(self, source: Union[ScoringRequest, RequestPayload],
+               request_id: Optional[str] = None) -> List[Verdict]:
+        """Enqueue one request on the micro-batcher (the online path).
+
+        Returns the verdicts of any flush this submission triggered; call
+        :meth:`poll` between arrivals and :meth:`drain` at stream end to
+        collect the rest.
+        """
+        request = self.make_request(source, request_id)
+        return self._batcher.submit((request, self._clock()))
+
+    def poll(self) -> List[Verdict]:
+        """Force a flush if the oldest pending request exceeded the delay SLO."""
+        return self._batcher.poll()
+
+    def drain(self) -> List[Verdict]:
+        """Flush whatever is still pending and return its verdicts."""
+        return self._batcher.flush()
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Clock time the pending batch must flush by (None when empty)."""
+        return self._batcher.deadline
+
+    def clear_pending(self) -> List[ScoringRequest]:
+        """Drop the queued requests (recovery after a failing flush)."""
+        return [request for request, _ in self._batcher.clear()]
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def report(self, elapsed_s: float) -> ThroughputReport:
+        """Throughput/latency summary of everything scored so far."""
+        return self.tracker.report(elapsed_s)
+
+    def reset_stats(self) -> None:
+        """Forget recorded latencies (keeps the model and pending queue)."""
+        self.tracker.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ScoringService(model={self.servable.name!r}, "
+                f"version={self.servable.version!r}, "
+                f"defense={self.defense_name!r})")

@@ -1,0 +1,101 @@
+"""Latency / throughput accounting for the scoring service.
+
+The serving layer reports the numbers an operator of an online detector
+actually watches: request latency quantiles (p50/p95), mean latency, and
+sustained throughput.  :class:`LatencyTracker` accumulates per-request
+latencies as they are observed; :class:`ThroughputReport` is the immutable
+summary the service, the ``serve`` CLI command and the benchmark harness all
+render from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100, linear interpolation) of ``values``."""
+    if not 0.0 <= q <= 100.0:
+        raise ServingError(f"percentile q must lie in [0, 100], got {q}")
+    if len(values) == 0:
+        raise ServingError("percentile of an empty sequence is undefined")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Summary of one measured serving interval."""
+
+    n_requests: int
+    elapsed_s: float
+    requests_per_s: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-serialisable representation (rounded for reporting)."""
+        return {key: (round(val, 6) if isinstance(val, float) else val)
+                for key, val in asdict(self).items()}
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.n_requests} requests in {self.elapsed_s:.3f}s "
+                f"({self.requests_per_s:,.0f} req/s) — latency "
+                f"mean {self.mean_ms:.3f}ms / p50 {self.p50_ms:.3f}ms / "
+                f"p95 {self.p95_ms:.3f}ms / max {self.max_ms:.3f}ms")
+
+
+class LatencyTracker:
+    """Accumulates per-request latencies (milliseconds) for one service."""
+
+    def __init__(self) -> None:
+        self._latencies_ms: List[float] = []
+
+    def record(self, latency_ms: float) -> None:
+        """Record one request's end-to-end latency in milliseconds."""
+        if latency_ms < 0:
+            raise ServingError(f"latency must be non-negative, got {latency_ms}")
+        self._latencies_ms.append(float(latency_ms))
+
+    def record_batch(self, latency_ms: float, n_requests: int) -> None:
+        """Record the same latency for every request of one fused batch."""
+        for _ in range(n_requests):
+            self._latencies_ms.append(float(latency_ms))
+
+    @property
+    def count(self) -> int:
+        """Number of latencies recorded so far."""
+        return len(self._latencies_ms)
+
+    @property
+    def latencies_ms(self) -> List[float]:
+        """A copy of the recorded latencies."""
+        return list(self._latencies_ms)
+
+    def reset(self) -> None:
+        """Forget every recorded latency."""
+        self._latencies_ms.clear()
+
+    def report(self, elapsed_s: float) -> ThroughputReport:
+        """Summarise the recorded latencies over a measured wall interval."""
+        if not self._latencies_ms:
+            raise ServingError("no latencies recorded; nothing to report")
+        if elapsed_s <= 0:
+            raise ServingError(f"elapsed_s must be positive, got {elapsed_s}")
+        values = np.asarray(self._latencies_ms, dtype=np.float64)
+        return ThroughputReport(
+            n_requests=int(values.size),
+            elapsed_s=float(elapsed_s),
+            requests_per_s=float(values.size / elapsed_s),
+            mean_ms=float(values.mean()),
+            p50_ms=percentile(values, 50.0),
+            p95_ms=percentile(values, 95.0),
+            max_ms=float(values.max()),
+        )

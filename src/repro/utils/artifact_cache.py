@@ -25,8 +25,13 @@ include:
 
 A directory only counts as cached once its ``COMPLETE`` marker file exists —
 it is written last, so a crash mid-save leaves a partial directory that is
-simply rebuilt (and overwritten) on the next run.  There is no staleness
-check beyond the key: if you change generator or training *code* in a way
+simply rebuilt (and overwritten) on the next run.  Every complete entry also
+carries a ``cache-meta.json`` stamping the ``repro`` package version that
+wrote it: entries written under a *different* package version (or lacking
+the stamp entirely, i.e. written before versions were stamped) are refused
+on load and transparently rebuilt, so upgrading the package can never serve
+stale artifacts trained by old code.  Beyond that there is no staleness
+check: if you change generator or training *code* within a version in a way
 that should invalidate entries, bump :data:`CACHE_SCHEMA_VERSION` or call
 :meth:`ArtifactCache.clear`.
 """
@@ -37,13 +42,17 @@ import hashlib
 import json
 import os
 import shutil
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Optional, TypeVar
+from typing import Any, Callable, List, Optional, TypeVar
 
 from repro.exceptions import SerializationError
+from repro.version import __version__
 
 _ENV_CACHE_VAR = "REPRO_CACHE_DIR"
 _MARKER = "COMPLETE"
+_ENTRY_META = "cache-meta.json"
 
 #: Bump when the on-disk format or artifact semantics change.
 CACHE_SCHEMA_VERSION = 1
@@ -74,6 +83,36 @@ def _canonical(value: Any) -> Any:
     return str(value)
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one on-disk cache entry (for ``cache-info`` style listings)."""
+
+    kind: str
+    key: str
+    path: Path
+    complete: bool
+    package_version: Optional[str]
+    created_at: Optional[float]
+    size_bytes: int
+    n_files: int
+
+    @property
+    def compatible(self) -> bool:
+        """Whether this entry was written by the running package version."""
+        return self.complete and self.package_version == __version__
+
+
+def _dir_stats(path: Path) -> tuple[int, int]:
+    """(total size in bytes, file count) of a directory tree."""
+    size = 0
+    n_files = 0
+    for child in path.rglob("*"):
+        if child.is_file():
+            size += child.stat().st_size
+            n_files += 1
+    return size, n_files
+
+
 class ArtifactCache:
     """Content-addressed directory store for experiment artifacts.
 
@@ -101,9 +140,29 @@ class ArtifactCache:
         """Directory that holds (or will hold) the artifact."""
         return self.root / kind / key
 
+    def _entry_metadata(self, path: Path) -> Optional[dict]:
+        """The entry's ``cache-meta.json`` contents, or None when absent/corrupt."""
+        meta_path = path / _ENTRY_META
+        if not meta_path.exists():
+            return None
+        try:
+            return json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
     def has(self, kind: str, key: str) -> bool:
-        """Whether a complete artifact is cached under ``kind``/``key``."""
-        return (self.path_for(kind, key) / _MARKER).exists()
+        """Whether a complete, version-compatible artifact is cached.
+
+        An entry written under a different ``repro`` package version (or
+        with no version stamp at all) does not count: serving it would risk
+        loading artifacts whose semantics changed between releases, so it is
+        treated as a miss and rebuilt by :meth:`load_or_build`.
+        """
+        path = self.path_for(kind, key)
+        if not (path / _MARKER).exists():
+            return False
+        meta = self._entry_metadata(path)
+        return meta is not None and meta.get("package_version") == __version__
 
     # ------------------------------------------------------------------ #
     # Store / retrieve
@@ -117,7 +176,8 @@ class ArtifactCache:
         ``save(artifact, path)`` writes into the artifact directory; the
         ``COMPLETE`` marker is written only after it returns, so interrupted
         saves are treated as misses.  A corrupt entry (marker present but
-        ``load`` failing) is evicted and rebuilt rather than propagated.
+        ``load`` failing) is evicted and rebuilt rather than propagated, as
+        is an entry stamped with a different package version.
         """
         path = self.path_for(kind, key)
         if self.has(kind, key):
@@ -130,8 +190,46 @@ class ArtifactCache:
             shutil.rmtree(path)
         path.mkdir(parents=True, exist_ok=True)
         save(artifact, path)
+        (path / _ENTRY_META).write_text(
+            json.dumps({"package_version": __version__,
+                        "schema": CACHE_SCHEMA_VERSION,
+                        "kind": kind, "key": key,
+                        "created_at": time.time()}, indent=2, sort_keys=True),
+            encoding="utf-8")
         (path / _MARKER).touch()
         return artifact
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[CacheEntry]:
+        """Every entry on disk (complete or not), sorted by kind then key."""
+        found: List[CacheEntry] = []
+        if not self.root.exists():
+            return found
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for entry_dir in sorted(kind_dir.iterdir()):
+                if not entry_dir.is_dir():
+                    continue
+                meta = self._entry_metadata(entry_dir) or {}
+                size_bytes, n_files = _dir_stats(entry_dir)
+                found.append(CacheEntry(
+                    kind=kind_dir.name,
+                    key=entry_dir.name,
+                    path=entry_dir,
+                    complete=(entry_dir / _MARKER).exists(),
+                    package_version=meta.get("package_version"),
+                    created_at=meta.get("created_at"),
+                    size_bytes=size_bytes,
+                    n_files=n_files,
+                ))
+        return found
+
+    def total_size_bytes(self) -> int:
+        """Total on-disk footprint of every cache entry."""
+        return sum(entry.size_bytes for entry in self.entries())
 
     # ------------------------------------------------------------------ #
     # Maintenance

@@ -44,6 +44,13 @@ class TestSoftmaxProperties:
     @given(logits=logits_matrices())
     @settings(max_examples=40, deadline=None)
     def test_argmax_is_temperature_invariant(self, logits):
+        # Near-ties (within float64 resolution of the row max) are excluded:
+        # dividing by the temperature can flip which of two numerically-equal
+        # logits wins the argmax, which is not a property violation.
+        gaps = np.sort(logits, axis=1)
+        near_tie = np.any(np.abs(gaps[:, -1] - gaps[:, -2]) < 1e-9)
+        if near_tie:
+            return
         np.testing.assert_array_equal(np.argmax(softmax(logits), axis=1),
                                       np.argmax(softmax(logits, temperature=25.0), axis=1))
 

@@ -83,6 +83,76 @@ class TestLoadOrBuild:
         assert result.n_samples == 4
         assert cache.has("dataset", key)
 
+    def test_entry_is_stamped_with_package_version(self, tmp_path):
+        from repro.version import __version__
+
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=3)
+        cache.load_or_build("dataset", key, self._dataset,
+                            lambda ds, path: ds.save(path / "data"),
+                            lambda path: Dataset.load(path / "data"))
+        entries = cache.entries()
+        assert len(entries) == 1
+        assert entries[0].package_version == __version__
+        assert entries[0].compatible
+        assert entries[0].created_at is not None
+
+    def test_entry_from_other_package_version_is_refused_and_rebuilt(self, tmp_path):
+        import json
+
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=4)
+        calls = {"build": 0}
+
+        def build() -> Dataset:
+            calls["build"] += 1
+            return self._dataset()
+
+        save = lambda ds, path: ds.save(path / "data")
+        load = lambda path: Dataset.load(path / "data")
+        cache.load_or_build("dataset", key, build, save, load)
+        assert calls["build"] == 1
+
+        # Simulate an entry written by an older release of the package.
+        meta_path = cache.path_for("dataset", key) / "cache-meta.json"
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["package_version"] = "0.0.1"
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+
+        assert not cache.has("dataset", key)        # refused, not served
+        assert not cache.entries()[0].compatible
+        cache.load_or_build("dataset", key, build, save, load)
+        assert calls["build"] == 2                  # rebuilt under this version
+        assert cache.has("dataset", key)
+
+    def test_unstamped_legacy_entry_is_treated_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=5)
+        path = cache.path_for("dataset", key)
+        self._dataset().save(path / "data")
+        (path / "COMPLETE").touch()                 # pre-stamping layout
+        assert not cache.has("dataset", key)
+        result = cache.load_or_build(
+            "dataset", key, self._dataset,
+            lambda ds, path: ds.save(path / "data"),
+            lambda path: Dataset.load(path / "data"))
+        assert result.n_samples == 4
+        assert cache.has("dataset", key)
+
+    def test_entries_reports_sizes_and_totals(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.entries() == []
+        for seed in (0, 1):
+            key = cache.key_for("dataset", seed=seed)
+            cache.load_or_build("dataset", key, self._dataset,
+                                lambda ds, path: ds.save(path / "data"),
+                                lambda path: Dataset.load(path / "data"))
+        entries = cache.entries()
+        assert len(entries) == 2
+        assert all(entry.kind == "dataset" for entry in entries)
+        assert all(entry.size_bytes > 0 and entry.n_files >= 2 for entry in entries)
+        assert cache.total_size_bytes() == sum(e.size_bytes for e in entries)
+
     def test_invalidate_and_clear(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         for seed in (0, 1):

@@ -1,8 +1,10 @@
 """Tests for the repro-experiments command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, load_scoring_source, main
 from repro.experiments import available_experiments
 
 
@@ -29,6 +31,65 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_dtype_flag_parses_and_validates(self):
+        args = build_parser().parse_args(["run", "table3", "--dtype", "float32"])
+        assert args.dtype == "float32"
+        assert build_parser().parse_args(["run", "table3"]).dtype is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table3", "--dtype", "float16"])
+
+    def test_serve_command_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.model == "target"
+        assert args.defense == "none"
+        assert args.requests == 256
+        assert args.batch_size == 32
+        assert args.rate is None
+
+    def test_score_command_requires_log_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["score"])
+        args = build_parser().parse_args(["score", "sample.log", "--defense", "squeeze"])
+        assert args.command == "score"
+        assert str(args.log_file) == "sample.log"
+        assert args.defense == "squeeze"
+
+    def test_cache_info_command_parses(self):
+        args = build_parser().parse_args(["cache-info", "--cache-dir", "x"])
+        assert args.command == "cache-info"
+
+
+class TestLoadScoringSource:
+    def test_reads_table2_text_log(self, tmp_path):
+        from repro.apilog.log_format import ApiLog
+
+        log_file = tmp_path / "sample.log"
+        log_file.write_text('WriteFile:13FBC1111 ()"61468"\n', encoding="utf-8")
+        source = load_scoring_source(log_file)
+        assert isinstance(source, ApiLog)
+        assert source.api_counts() == {"writefile": 1}
+
+    def test_reads_json_count_mapping(self, tmp_path):
+        log_file = tmp_path / "sample.json"
+        log_file.write_text(json.dumps({"writefile": 3, "winexec": 1}),
+                            encoding="utf-8")
+        assert load_scoring_source(log_file) == {"writefile": 3, "winexec": 1}
+
+    def test_reads_json_api_counts_object(self, tmp_path):
+        log_file = tmp_path / "sample.json"
+        log_file.write_text(json.dumps({"api_counts": {"writefile": 2}}),
+                            encoding="utf-8")
+        assert load_scoring_source(log_file) == {"writefile": 2}
+
+    def test_rejects_malformed_json_payload(self, tmp_path):
+        from repro.exceptions import ServingError
+
+        log_file = tmp_path / "sample.json"
+        log_file.write_text(json.dumps({"unexpected": ["shape"]}), encoding="utf-8")
+        with pytest.raises(ServingError):
+            load_scoring_source(log_file)
+
 
 class TestMain:
     def test_list_prints_every_experiment(self, capsys):
@@ -48,3 +109,67 @@ class TestMain:
     def test_run_table1_at_tiny_scale(self, capsys):
         assert main(["run", "table1", "--scale", "tiny"]) == 0
         assert "Table I" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    def test_serve_replays_stream_and_reports(self, capsys, tmp_path):
+        code = main(["serve", "--scale", "tiny", "--seed", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "16", "--batch-size", "8",
+                     "--mix", "0.6,0.4,0", "--out", str(tmp_path / "out")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scoring service — model target" in output
+        assert "fused batches" in output
+        assert "p95" in output
+        assert (tmp_path / "out" / "serve.txt").exists()
+
+    def test_serve_warm_start_uses_cached_bundle(self, capsys, tmp_path):
+        argv = ["serve", "--scale", "tiny", "--seed", "4",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--requests", "8", "--mix", "1,0,0"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        version = [line for line in first.splitlines() if "model target v" in line]
+        assert version and version[0] in second  # same bundle version served
+
+    def test_score_prints_verdict_json(self, capsys, tmp_path):
+        log_file = tmp_path / "sample.log"
+        log_file.write_text('WriteFile:13FBC1111 ()"61468"\n'
+                            'WinExec:13FBC2222 ()"61468"\n', encoding="utf-8")
+        code = main(["score", str(log_file), "--scale", "tiny", "--seed", "4",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["request_id"] == "sample"
+        assert payload["verdict"] in ("clean", "malware")
+        assert payload["model_name"] == "target"
+        assert 0.0 <= payload["malware_probability"] <= 1.0
+
+    def test_score_with_dtype_flag_builds_float32_bundle(self, capsys, tmp_path):
+        log_file = tmp_path / "sample.json"
+        log_file.write_text(json.dumps({"writefile": 2}), encoding="utf-8")
+        code = main(["score", str(log_file), "--scale", "tiny", "--seed", "4",
+                     "--dtype", "float32"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] in ("clean", "malware")
+
+    def test_cache_info_lists_entries(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["serve", "--scale", "tiny", "--seed", "4",
+                     "--cache-dir", str(cache_dir),
+                     "--requests", "8", "--mix", "1,0,0"]) == 0
+        capsys.readouterr()
+        assert main(["cache-info", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "cache root" in output
+        assert "serving" in output
+        assert "target" in output
+        assert "entries" in output and "bytes total" in output
+
+    def test_cache_info_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache-info", "--cache-dir", str(tmp_path / "empty")]) == 0
+        assert "(no cached artifacts)" in capsys.readouterr().out

@@ -72,3 +72,33 @@ class TestDeterminism:
         a = ExperimentContext(scale=TINY_PROFILE, seed=9).corpus
         b = ExperimentContext(scale=TINY_PROFILE, seed=10).corpus
         assert not np.allclose(a.train.features, b.train.features)
+
+
+class TestDtypeOverride:
+    def test_invalid_dtype_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentContext(scale=TINY_PROFILE, seed=9, dtype="float16")
+
+    def test_dtype_override_builds_float32_artifacts(self):
+        from repro.nn.engine import compute_dtype
+
+        engine_dtype_before = compute_dtype()
+        context = ExperimentContext(scale=TINY_PROFILE, seed=9, dtype="float32")
+        assert context.describe()["dtype"] == "float32"
+        target = context.target_model
+        # The override applies to the built network without mutating the
+        # process-wide engine dtype.
+        assert target.network.layers[0].weight.value.dtype == np.float32
+        assert compute_dtype() == engine_dtype_before
+
+    def test_dtype_override_keys_distinct_cache_entries(self, tmp_path):
+        from repro.utils.artifact_cache import ArtifactCache
+
+        cache = ArtifactCache(tmp_path / "cache")
+        f64 = ExperimentContext(scale=TINY_PROFILE, seed=9, cache=cache,
+                                dtype="float64")
+        f32 = ExperimentContext(scale=TINY_PROFILE, seed=9, cache=cache,
+                                dtype="float32")
+        assert f64._cache_key("target") != f32._cache_key("target")

@@ -240,3 +240,63 @@ class TestEnsemble:
         confidence = ensemble.malware_confidence(tiny_malware.features)
         assert confidence.min() >= 0.0
         assert confidence.max() <= 1.0
+
+
+class TestFusedDecide:
+    """decide() must equal (malware_confidence, predict) in fewer forwards."""
+
+    @pytest.fixture()
+    def squeezed(self, tiny_context):
+        return FeatureSqueezingDefense().fit(tiny_context.target_model.network,
+                                             tiny_context.corpus.validation)
+
+    def test_squeezed_decide_matches_separate_surfaces(self, squeezed,
+                                                       tiny_malware):
+        features = tiny_malware.features
+        confidences, labels = squeezed.decide(features)
+        np.testing.assert_allclose(confidences,
+                                   squeezed.malware_confidence(features),
+                                   atol=1e-12)
+        np.testing.assert_array_equal(labels, squeezed.predict(features))
+
+    def test_squeezed_decide_halves_network_forwards(self, squeezed,
+                                                     tiny_malware,
+                                                     monkeypatch):
+        calls = {"n": 0}
+        original = type(squeezed.network).predict_proba
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(type(squeezed.network), "predict_proba", counting)
+        squeezed.decide(tiny_malware.features)
+        fused = calls["n"]
+        calls["n"] = 0
+        squeezed.malware_confidence(tiny_malware.features)
+        squeezed.predict(tiny_malware.features)
+        assert fused == 2          # one original + one squeezed forward
+        assert calls["n"] > fused  # the separate surfaces recompute
+
+    @pytest.mark.parametrize("voting", ["average", "any", "majority"])
+    def test_ensemble_decide_matches_separate_surfaces(self, tiny_context,
+                                                       tiny_malware, squeezed,
+                                                       voting):
+        members = [ModelBackedDetector(tiny_context.target_model, name="m"),
+                   squeezed]
+        ensemble = EnsembleDetector(members, voting=voting)
+        features = tiny_malware.features
+        confidences, labels = ensemble.decide(features)
+        np.testing.assert_allclose(confidences,
+                                   ensemble.malware_confidence(features),
+                                   atol=1e-12)
+        np.testing.assert_array_equal(labels, ensemble.predict(features))
+
+    def test_model_backed_decide_matches_separate_surfaces(self, tiny_context,
+                                                           tiny_malware):
+        member = ModelBackedDetector(tiny_context.target_model, name="m")
+        confidences, labels = member.decide(tiny_malware.features)
+        np.testing.assert_allclose(confidences,
+                                   member.malware_confidence(tiny_malware.features),
+                                   atol=1e-12)
+        np.testing.assert_array_equal(labels, member.predict(tiny_malware.features))

@@ -54,9 +54,20 @@ class TestCountExtractor:
         batch = extractor.extract_batch([{"writefile": 1}, {"winexec": 2}])
         assert batch.shape == (2, 491)
 
-    def test_extract_batch_empty_raises(self):
-        with pytest.raises(ShapeError):
-            CountExtractor().extract_batch([])
+    def test_extract_batch_empty_returns_zero_row_matrix(self):
+        # The serving path sees empty micro-batches; they must not raise.
+        batch = CountExtractor().extract_batch([])
+        assert batch.shape == (0, 491)
+
+    def test_empty_log_extracts_to_zero_vector(self):
+        vector = CountExtractor().extract(ApiLog(sample_id="e", os_version="win7"))
+        assert vector.shape == (491,)
+        assert vector.sum() == 0
+
+    def test_unknown_api_only_log_extracts_to_zero_vector(self):
+        vector = CountExtractor().extract({"not_a_monitored_api": 9,
+                                           "another_unknown": 3})
+        assert vector.sum() == 0
 
     def test_monitored_fraction(self):
         extractor = CountExtractor()
@@ -210,3 +221,85 @@ class TestFeaturePipeline:
         pipeline = FeaturePipeline(transformer=BinaryTransformer())
         features = pipeline.fit_transform(self._sources())
         assert set(np.unique(features)) <= {0.0, 1.0}
+
+    def test_empty_log_transforms_to_zero_vector(self):
+        # Regression for the serving path: an empty execution trace must
+        # yield a well-formed all-zero feature row, not an error.
+        pipeline = FeaturePipeline()
+        pipeline.fit(self._sources())
+        row = pipeline.transform_one(ApiLog(sample_id="empty", os_version="win7"))
+        assert row.shape == (491,)
+        np.testing.assert_array_equal(row, np.zeros(491))
+
+    def test_unknown_api_log_transforms_to_zero_vector(self):
+        pipeline = FeaturePipeline()
+        pipeline.fit(self._sources())
+        row = pipeline.transform_one({"completely_unknown_api": 40})
+        np.testing.assert_array_equal(row, np.zeros(491))
+
+    def test_empty_source_batch_transforms_to_zero_row_matrix(self):
+        pipeline = FeaturePipeline()
+        pipeline.fit(self._sources())
+        assert pipeline.transform([]).shape == (0, 491)
+        assert pipeline.transform_counts(np.zeros((0, 491))).shape == (0, 491)
+
+
+class TestPipelineBundleRoundTrip:
+    """save_bundle/load_bundle round trips for both pipeline flavours."""
+
+    def _sources(self):
+        return [{"writefile": 5, "winexec": 1},
+                {"writeprocessmemory": 3, "writefile": 1},
+                {"waitmessage": 2, "writefile": 9}]
+
+    def test_count_pipeline_bundle_contents(self, tmp_path):
+        from repro.utils.serialization import load_bundle
+
+        pipeline = FeaturePipeline()
+        pipeline.fit(self._sources())
+        pipeline.save(tmp_path / "bundle")
+        meta, arrays = load_bundle(tmp_path / "bundle")
+        assert meta["transformer"]["type"] == "CountTransformer"
+        assert len(meta["catalog"]) == 491
+        np.testing.assert_allclose(arrays["scales"],
+                                   pipeline.transformer.scales)
+
+    def test_count_pipeline_round_trip_preserves_transform(self, tmp_path):
+        pipeline = FeaturePipeline(transformer=CountTransformer(min_scale_count=30,
+                                                                scaling="log"))
+        pipeline.fit(self._sources())
+        pipeline.save(tmp_path / "bundle")
+        restored = FeaturePipeline.load(tmp_path / "bundle")
+        assert isinstance(restored.transformer, CountTransformer)
+        assert restored.transformer.scaling == "log"
+        assert restored.transformer.min_scale_count == 30
+        np.testing.assert_allclose(restored.transform(self._sources()),
+                                   pipeline.transform(self._sources()))
+
+    def test_binary_pipeline_round_trip(self, tmp_path):
+        # The grey-box attacker's featurisation: presence/absence features.
+        pipeline = FeaturePipeline(transformer=BinaryTransformer(threshold=1.5))
+        pipeline.fit(self._sources())
+        expected = pipeline.transform(self._sources())
+        pipeline.save(tmp_path / "bundle")
+        restored = FeaturePipeline.load(tmp_path / "bundle")
+        assert isinstance(restored.transformer, BinaryTransformer)
+        assert restored.transformer.threshold == 1.5
+        assert restored.is_fitted
+        np.testing.assert_array_equal(restored.transform(self._sources()), expected)
+        assert set(np.unique(restored.transform(self._sources()))) <= {0.0, 1.0}
+
+    def test_binary_substitute_pipeline_round_trip_via_context(self, tmp_path):
+        # The exact binary pipeline the second grey-box attacker trains
+        # behind, persisted and restored through the context's save path.
+        from repro.config import TINY_PROFILE
+        from repro.experiments.context import ExperimentContext
+
+        context = ExperimentContext(scale=TINY_PROFILE, seed=41)
+        binary_pipeline = context.binary_pipeline
+        binary_pipeline.save(tmp_path / "bundle")
+        restored = FeaturePipeline.load(tmp_path / "bundle")
+        assert isinstance(restored.transformer, BinaryTransformer)
+        counts = CountExtractor().extract_batch(self._sources())
+        np.testing.assert_array_equal(restored.transform_counts(counts),
+                                      binary_pipeline.transform_counts(counts))

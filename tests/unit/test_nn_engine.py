@@ -23,27 +23,38 @@ from repro.nn.training import Trainer
 
 
 class TestEngineConfiguration:
-    def test_default_dtype_is_float64(self):
-        assert compute_dtype() == np.float64
+    def test_default_dtype_follows_environment(self):
+        import os
+
+        # float64 unless the suite runs under REPRO_DTYPE (the CI matrix
+        # exercises both engine dtypes).
+        expected = np.dtype(os.environ.get("REPRO_DTYPE", "float64"))
+        assert compute_dtype() == expected
 
     def test_set_default_dtype_returns_previous(self):
-        previous = set_default_dtype("float32")
+        original = compute_dtype()
+        other = np.float32 if original == np.float64 else np.float64
+        previous = set_default_dtype(other)
         try:
-            assert previous == np.float64
-            assert compute_dtype() == np.float32
+            assert previous == original
+            assert compute_dtype() == other
         finally:
             set_default_dtype(previous)
 
     def test_use_dtype_restores_on_exit(self):
-        with use_dtype("float32"):
-            assert compute_dtype() == np.float32
-        assert compute_dtype() == np.float64
+        original = compute_dtype()
+        other = np.float32 if original == np.float64 else np.float64
+        with use_dtype(other):
+            assert compute_dtype() == other
+        assert compute_dtype() == original
 
     def test_use_dtype_restores_on_error(self):
+        original = compute_dtype()
+        other = np.float32 if original == np.float64 else np.float64
         with pytest.raises(RuntimeError):
-            with use_dtype("float32"):
+            with use_dtype(other):
                 raise RuntimeError("boom")
-        assert compute_dtype() == np.float64
+        assert compute_dtype() == original
 
     def test_unsupported_dtype_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -63,7 +74,7 @@ class TestEngineConfiguration:
             set_engine(previous)
 
     def test_as_compute_avoids_copy_when_possible(self):
-        x = np.zeros((3, 3), dtype=np.float64)
+        x = np.zeros((3, 3), dtype=compute_dtype())
         assert as_compute(x) is x
 
     def test_ensure_buffer_reuses_matching_buffer(self):

@@ -57,8 +57,13 @@ class TestDenseForward:
 
 class TestDenseBackward:
     def test_gradient_matches_finite_differences(self):
+        from repro.nn.engine import use_dtype
+
         rng = np.random.default_rng(1)
-        layer = Dense(4, 3, random_state=0)
+        # Finite differences at eps=1e-6 need float64 math regardless of the
+        # suite-wide engine dtype (REPRO_DTYPE).
+        with use_dtype("float64"):
+            layer = Dense(4, 3, random_state=0)
         x = rng.normal(size=(6, 4))
         upstream = rng.normal(size=(6, 3))
 

@@ -82,7 +82,12 @@ class TestInputGradients:
         assert small_mlp.class_gradients(x).shape == (3, 2, 12)
 
     def test_class_gradients_match_finite_differences(self):
-        network = NeuralNetwork.mlp([6, 5, 2], activation="tanh", random_state=0)
+        from repro.nn.engine import use_dtype
+
+        # Finite differences at eps=1e-6 need float64 math regardless of the
+        # suite-wide engine dtype (REPRO_DTYPE).
+        with use_dtype("float64"):
+            network = NeuralNetwork.mlp([6, 5, 2], activation="tanh", random_state=0)
         rng = np.random.default_rng(4)
         x = rng.random((2, 6))
         jacobian = network.class_gradients(x)
@@ -107,7 +112,10 @@ class TestInputGradients:
         assert all(np.all(p.grad == 0.0) for p in small_mlp.parameters())
 
     def test_loss_input_gradient_matches_finite_differences(self):
-        network = NeuralNetwork.mlp([5, 4, 2], activation="sigmoid", random_state=1)
+        from repro.nn.engine import use_dtype
+
+        with use_dtype("float64"):
+            network = NeuralNetwork.mlp([5, 4, 2], activation="sigmoid", random_state=1)
         rng = np.random.default_rng(6)
         x = rng.random((3, 5))
         labels = np.array([0, 1, 0])
