@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Sweep a small attack x defense grid through the scenario API.
+
+Every cell of the paper's contribution — {attack} x {defense} on one
+detector — is a declarative :class:`~repro.scenarios.ScenarioSpec`;
+``ScenarioSpec.grid`` expands the product and
+:func:`~repro.scenarios.run_scenario` executes each cell against one shared
+:class:`~repro.experiments.context.ExperimentContext` (so the corpus and
+models are built once, and defenses fitted for one cell are reused by
+later cells that reference them).
+
+Run:  python examples/scenario_grid.py           (REPRO_SCALE=tiny default)
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import ExperimentContext, get_profile
+from repro.evaluation.reports import format_table
+from repro.scenarios import ScenarioSpec, run_scenario
+
+
+def main() -> None:
+    scale = get_profile(os.environ.get("REPRO_SCALE", "tiny"))
+    context = ExperimentContext(scale=scale, seed=23)
+
+    # Grey-box crafting (full budget, like every defense experiment) against
+    # three endpoints, for the structured attack and the random control.
+    specs = ScenarioSpec.grid(
+        attacks=[{"id": "jsma", "params": {"early_stop": False}},
+                 "random_addition"],
+        defenses=["none", "feature_squeezing", "dim_reduction"],
+        model="substitute", scale=scale.name, seed=context.seed,
+        theta=0.1, gamma=0.02)
+
+    print(f"== running {len(specs)} scenarios at scale {scale.name!r}")
+    rows = []
+    for spec in specs:
+        report = run_scenario(spec, context=context)
+        rows.append([
+            spec.attack,
+            spec.defense,
+            report.detection["substitute"],
+            report.detection["target"],
+            report.defense_eval["advex_test"]["tpr"],
+            report.defense_eval["clean_test"]["tnr"],
+            f"{report.elapsed_s:.2f}s",
+        ])
+        print(f"   {spec.label}: done in {report.elapsed_s:.2f}s")
+
+    print()
+    print(format_table(
+        ["attack", "defense", "det[substitute]", "det[target]",
+         "advEx TPR", "clean TNR", "time"],
+        rows, title="attack x defense grid (grey-box crafting)"))
+    print()
+    print("The structured attack (jsma) should evade far more than the")
+    print("random control at the same budget, and the defended endpoints")
+    print("should recover adversarial TPR relative to 'none'.")
+
+
+if __name__ == "__main__":
+    main()

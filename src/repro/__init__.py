@@ -59,6 +59,7 @@ from repro.experiments import ExperimentContext, available_experiments, run_expe
 from repro.features import FeaturePipeline
 from repro.models import SubstituteModel, TargetModel
 from repro.nn import NeuralNetwork, compute_dtype, set_default_dtype, use_dtype
+from repro.scenarios import ScenarioSpec, run_scenario
 from repro.serving import (
     LoadGenerator,
     MicroBatcher,
@@ -88,6 +89,8 @@ __all__ = [
     # defenses
     "AdversarialTrainingDefense", "DefensiveDistillation", "FeatureSqueezingDefense",
     "DimensionalityReductionDefense", "EnsembleDefense", "PCA",
+    # scenarios (the declarative attack x defense grid API)
+    "ScenarioSpec", "run_scenario",
     # experiments
     "ExperimentContext", "run_experiment", "available_experiments",
     # serving

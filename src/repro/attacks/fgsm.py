@@ -23,9 +23,16 @@ from repro.attacks.constraints import PerturbationConstraints
 from repro.config import CLASS_CLEAN
 from repro.exceptions import AttackError
 from repro.nn.network import NeuralNetwork
+from repro.scenarios.registry import Param, register_attack
 from repro.utils.validation import check_matrix
 
 
+@register_attack("fgsm", params=(
+    Param("epsilon", "float", None, optional=True,
+          help="gradient-sign step size (None follows the constraint theta)"),
+    Param("target_class", "int", CLASS_CLEAN, choices=(0, 1),
+          help="class the single gradient step moves the sample towards"),
+))
 class FgsmAttack(Attack):
     """Single-step gradient-sign attack towards the clean class.
 

@@ -29,9 +29,22 @@ from repro.attacks.constraints import PerturbationConstraints
 from repro.config import CLASS_CLEAN, CLASS_MALWARE
 from repro.exceptions import AttackError
 from repro.nn.network import NeuralNetwork
+from repro.scenarios.registry import Param, register_attack
 from repro.utils.validation import check_matrix
 
 
+@register_attack("jsma", params=(
+    Param("target_class", "int", CLASS_CLEAN, choices=(0, 1),
+          help="class the adversarial example should be assigned to"),
+    Param("use_saliency_map", "bool", True,
+          help="rank features by the two-class saliency map (False: raw "
+               "target-class gradient)"),
+    Param("early_stop", "bool", True,
+          help="stop perturbing a sample once the crafting model is fooled "
+               "(False spends the full budget — the transfer setting)"),
+    Param("features_per_step", "int", 1,
+          help="top-saliency features perturbed per Jacobian evaluation"),
+))
 class JsmaAttack(Attack):
     """Add-only JSMA targeting the clean class.
 

@@ -27,6 +27,7 @@ from repro.config import CLASS_MALWARE
 from repro.exceptions import AttackError
 from repro.features.pipeline import FeaturePipeline
 from repro.nn.network import NeuralNetwork
+from repro.scenarios.registry import Param, register_attack
 from repro.utils.rng import RandomState, as_rng
 
 
@@ -63,6 +64,33 @@ class LiveGreyBoxTrace:
         return rows
 
 
+def _scenario_factory(cls, network, constraints, params, context):
+    """Assemble the live attack from the context's target/substitute/pipeline.
+
+    Live scenarios attack *source samples*, not feature matrices, so the
+    engine passes ``network``/``constraints`` as ``None`` and this factory
+    pulls both models (and the deployed pipeline) from the context.
+    """
+    return cls(context.target_model.network, context.substitute_model.network,
+               context.pipeline, sandbox_os=params["sandbox_os"],
+               random_state=context.seeds.seed_for(params["seed_name"]))
+
+
+@register_attack("live_greybox", kind="live", factory=_scenario_factory, params=(
+    Param("max_repetitions", "int", 8,
+          help="how many times the chosen API call is added to the source"),
+    Param("sample_index", "int", None, optional=True,
+          help="index into the generated source samples (None picks the "
+               "sample whose engine confidence is closest to the paper's)"),
+    Param("n_sources", "int", 16,
+          help="number of candidate malware source samples to generate"),
+    Param("sandbox_os", "str", "win7",
+          help="OS the sample is (re-)detonated on"),
+    Param("seed_name", "str", "live_greybox",
+          help="named seed for the attack's tie-breaking randomness"),
+    Param("sources_rng_name", "str", "live_greybox:sources",
+          help="named seed for candidate source-sample generation"),
+))
 class LiveGreyBoxAttack:
     """Source-level evasion driven by the substitute's saliency map.
 

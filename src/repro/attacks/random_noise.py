@@ -16,14 +16,32 @@ import numpy as np
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.constraints import PerturbationConstraints
 from repro.nn.network import NeuralNetwork
+from repro.scenarios.registry import Param, register_attack
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_matrix
 
 
+def _scenario_factory(cls, network, constraints, params, context):
+    """Seed the noise source from the context's named seed fan-out.
+
+    Drivers that must replay a specific historical stream (e.g. Figure 3's
+    random-addition control) override ``seed_name``; the derived seed only
+    depends on ``(master_seed, seed_name)``, so results are reproducible and
+    independent of scenario ordering.
+    """
+    seed = (context.seeds.seed_for(params["seed_name"])
+            if context is not None else None)
+    return cls(network, constraints=constraints, random_state=seed)
+
+
+@register_attack("random_addition", aliases=("random_noise",),
+                 factory=_scenario_factory, params=(
+    Param("seed_name", "str", "scenario:random_addition",
+          help="named seed (derived from the context's master seed) for the "
+               "random feature choice"),
+))
 class RandomAdditionAttack(Attack):
     """Add θ to γ·d randomly selected features (the paper's noise control)."""
-
-    name = "random_addition"
 
     def __init__(self, network: NeuralNetwork,
                  constraints: Optional[PerturbationConstraints] = None,

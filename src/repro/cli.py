@@ -8,6 +8,12 @@ Usage examples::
     repro-experiments run-all --scale tiny
     repro-experiments run-all --scale small --cache-dir .repro-cache
 
+    repro-experiments list-attacks
+    repro-experiments list-defenses
+    repro-experiments run-scenario --attack jsma --defense feature_squeezing \\
+        --model substitute --scale tiny --theta 0.1 --gamma 0.02
+    repro-experiments run-scenario --spec scenario.json --json
+
     repro-experiments serve --scale small --cache-dir default --requests 512
     repro-experiments score sample.log --scale tiny --cache-dir default
     repro-experiments cache-info --cache-dir default
@@ -20,11 +26,19 @@ or ``serve`` skips straight to the measurement.  ``--dtype`` selects the
 compute engine precision per invocation (first-class alternative to the
 ``REPRO_DTYPE`` environment variable).
 
+``run-scenario`` executes one declarative cell of the attack x defense
+grid through :func:`repro.scenarios.run_scenario` — either assembled from
+flags or loaded from a :class:`~repro.scenarios.ScenarioSpec` JSON file —
+and ``list-attacks`` / ``list-defenses`` print the registries with their
+parameter schemas.
+
 ``serve`` replays a synthetic clean/malware/adversarial request stream
 through the batched :class:`~repro.serving.service.ScoringService` and
 reports throughput and latency quantiles; ``score`` renders the structured
 verdict for one API log file (Table II text or JSON counts); ``cache-info``
-lists the artifact-cache entries with sizes and version compatibility.
+lists the artifact-cache entries with sizes and version compatibility.  The
+``--defense`` endpoint wrapper resolves through the DefenseRegistry, so
+every registered defense (and alias, e.g. ``squeeze``) is servable.
 """
 
 from __future__ import annotations
@@ -41,10 +55,26 @@ from repro.config import PROFILES, get_profile
 from repro.exceptions import ServingError
 from repro.experiments import ExperimentContext, available_experiments
 from repro.experiments.registry import EXPERIMENTS
+from repro.scenarios import (
+    ATTACKS,
+    DEFENSES,
+    MODEL_KINDS,
+    ScenarioSpec,
+    build_defense,
+    ensure_registries,
+)
 from repro.utils.artifact_cache import ArtifactCache
+from repro.version import __version__
 
-#: Defense endpoints the ``serve``/``score`` commands can wrap the model in.
-DEFENSE_CHOICES = ("none", "squeeze", "ensemble")
+
+def _defense_choices() -> tuple:
+    """Registered defense ids plus their aliases (``squeeze`` et al.)."""
+    ensure_registries()
+    choices = []
+    for entry in DEFENSES.entries():
+        choices.append(entry.entry_id)
+        choices.extend(entry.aliases)
+    return tuple(sorted(choices))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,9 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
                     "Attack and Defense' (DSN 2019) on the synthetic substrate, "
                     "and serve the trained detector as a batched scoring service.",
     )
+    # The same version string the artifact cache stamps into each entry's
+    # cache-meta.json (see repro.utils.artifact_cache).
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the available experiments")
+    subparsers.add_parser("list-attacks",
+                          help="list the registered attacks and their parameters")
+    subparsers.add_parser("list-defenses",
+                          help="list the registered defenses and their parameters")
 
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--scale", choices=sorted(PROFILES), default="small",
@@ -77,8 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_serving_model(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--model", default="target",
                          help="registered model bundle to serve (default: target)")
-        sub.add_argument("--defense", choices=DEFENSE_CHOICES, default="none",
-                         help="wrap the endpoint in a Table VI defense")
+        sub.add_argument("--defense", choices=_defense_choices(), default="none",
+                         help="wrap the endpoint in a registered defense "
+                              "(resolved through the DefenseRegistry)")
         sub.add_argument("--threshold", type=float, default=0.5,
                          help="malware-probability decision threshold (default: 0.5)")
 
@@ -89,6 +128,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     add_common(run_all_parser)
+
+    scenario_parser = subparsers.add_parser(
+        "run-scenario", help="run one declarative attack-vs-defense scenario")
+    scenario_parser.add_argument("--spec", type=Path, default=None, metavar="FILE",
+                                 help="ScenarioSpec JSON file; its fields are "
+                                      "authoritative (--scale/--dtype only fill "
+                                      "in where the file leaves them null, "
+                                      "other flags are ignored)")
+    scenario_parser.add_argument("--attack", default="jsma",
+                                 help="attack registry id (see list-attacks)")
+    scenario_parser.add_argument("--defense", choices=_defense_choices(),
+                                 default="none",
+                                 help="defense registry id (see list-defenses)")
+    scenario_parser.add_argument("--model", choices=MODEL_KINDS, default="target",
+                                 help="crafting surface (default: target — the "
+                                      "white-box setting)")
+    scenario_parser.add_argument("--theta", type=float, default=0.1,
+                                 help="per-feature perturbation magnitude")
+    scenario_parser.add_argument("--gamma", type=float, default=0.02,
+                                 help="fraction of perturbable features")
+    scenario_parser.add_argument("--sweep", choices=("gamma", "theta"), default=None,
+                                 help="sweep one constraint parameter into a "
+                                      "security curve")
+    scenario_parser.add_argument("--sweep-values", default=None, metavar="V1,V2,...",
+                                 help="explicit sweep grid (default: the paper "
+                                      "grid at the scale profile's resolution)")
+    scenario_parser.add_argument("--robustness-budget", type=int, default=None,
+                                 metavar="N",
+                                 help="also compute the minimal-evasion-budget "
+                                      "distribution up to N added features")
+    scenario_parser.add_argument("--attack-params", default=None, metavar="JSON",
+                                 help="attack parameter overrides as a JSON object")
+    scenario_parser.add_argument("--defense-params", default=None, metavar="JSON",
+                                 help="defense parameter overrides as a JSON object")
+    scenario_parser.add_argument("--json", action="store_true", dest="as_json",
+                                 help="print the full ScenarioReport as JSON")
+    add_common(scenario_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="replay a synthetic request stream through the scoring "
@@ -162,21 +238,20 @@ def load_scoring_source(path: Path):
     return ApiLog.from_text(text, sample_id=path.stem)
 
 
-def _build_detector(defense: str, servable, context):
-    """Instantiate the requested defense endpoint over ``servable``."""
-    if defense == "none":
+def _resolve_detector(args, servable, context, registry=None):
+    """Resolve the endpoint defense through the DefenseRegistry.
+
+    Scenario bundles registered on the model registry carry their own
+    defense; otherwise the ``--defense`` flag names a registry entry, fitted
+    over the served bundle's model.  ``"none"`` serves the bare model.
+    """
+    if registry is not None:
+        detector = registry.detector_for(args.model, context)
+        if detector is not None:
+            return detector
+    if DEFENSES.get(args.defense).entry_id == "none":
         return None
-    from repro.defenses.base import ModelBackedDetector
-    from repro.defenses.feature_squeezing import FeatureSqueezingDefense
-
-    squeezed = FeatureSqueezingDefense().fit(servable.model.network,
-                                             context.corpus.validation)
-    if defense == "squeeze":
-        return squeezed
-    from repro.defenses.ensemble import EnsembleDefense
-
-    base = ModelBackedDetector(servable.model, name="base_model")
-    return EnsembleDefense(voting="average").fit([base, squeezed])
+    return build_defense(args.defense, context, model=servable.model)
 
 
 def _cmd_serve(args) -> int:
@@ -187,7 +262,7 @@ def _cmd_serve(args) -> int:
                                 cache=cache, dtype=args.dtype)
     registry = ModelRegistry(cache=cache)
     servable = registry.get(args.model, context=context)
-    detector = _build_detector(args.defense, servable, context)
+    detector = _resolve_detector(args, servable, context, registry=registry)
     service = ScoringService(servable, detector=detector, threshold=args.threshold,
                              max_batch_size=args.batch_size,
                              max_delay_ms=args.max_delay_ms)
@@ -233,11 +308,21 @@ def _cmd_score(args) -> int:
                                 cache=cache, dtype=args.dtype)
     registry = ModelRegistry(cache=cache)
     servable = registry.get(args.model, context=context)
-    detector = _build_detector(args.defense, servable, context)
+    detector = _resolve_detector(args, servable, context, registry=registry)
     service = ScoringService(servable, detector=detector, threshold=args.threshold)
     verdict = service.score(source, request_id=args.log_file.stem)
     _emit("score", json.dumps(verdict.as_dict(), indent=2, sort_keys=True), args.out)
     return 0
+
+
+def _human_size(n_bytes: int) -> str:
+    """Render a byte count as B/KiB/MiB/GiB with one decimal."""
+    size = float(n_bytes)
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024.0:
+            return f"{size:,.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{size:,.1f} GiB"
 
 
 def _cmd_cache_info(args) -> int:
@@ -247,7 +332,8 @@ def _cmd_cache_info(args) -> int:
     if not entries:
         print("(no cached artifacts)")
         return 0
-    print(f"{'kind':<22} {'key':<18} {'version':<10} {'size':>10} {'files':>6}  state")
+    print(f"{'kind':<22} {'key':<18} {'version':<10} {'size':>10} "
+          f"{'':>11} {'files':>6}  state")
     total = 0
     for entry in entries:
         total += entry.size_bytes
@@ -255,8 +341,59 @@ def _cmd_cache_info(args) -> int:
                  else ("incomplete" if not entry.complete else "stale-version"))
         version = entry.package_version or "unstamped"
         print(f"{entry.kind:<22} {entry.key:<18} {version:<10} "
-              f"{entry.size_bytes:>10,} {entry.n_files:>6}  {state}")
-    print(f"{len(entries)} entries, {total:,} bytes total")
+              f"{entry.size_bytes:>10,} {_human_size(entry.size_bytes):>11} "
+              f"{entry.n_files:>6}  {state}")
+    print(f"{len(entries)} entries, {total:,} bytes total ({_human_size(total)})")
+    return 0
+
+
+def _registry_listing(registry) -> str:
+    """Render one registry (ids, aliases, classes, param schemas) as text."""
+    lines = []
+    for entry in registry.entries():
+        alias_note = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        lines.append(f"{entry.entry_id:<22} {entry.cls.__name__:<28} "
+                     f"[{entry.kind}]{alias_note}")
+        lines.append(f"    {entry.summary}")
+        lines.append(f"    params: {entry.schema()}")
+    return "\n".join(lines)
+
+
+def _cmd_run_scenario(args) -> int:
+    from repro.scenarios import run_scenario
+
+    if args.spec is not None:
+        spec = ScenarioSpec.from_json(args.spec.read_text(encoding="utf-8"))
+        # The file is authoritative; the scale/dtype flags only fill in
+        # fields the file leaves null (seed always comes from the spec).
+        if spec.scale is None:
+            spec = spec.with_overrides(scale=args.scale)
+        if spec.dtype is None and args.dtype is not None:
+            spec = spec.with_overrides(dtype=args.dtype)
+    else:
+        sweep_values = None
+        if args.sweep_values is not None:
+            sweep_values = tuple(float(v) for v in args.sweep_values.split(","))
+        spec = ScenarioSpec(
+            attack=args.attack,
+            attack_params=json.loads(args.attack_params) if args.attack_params else {},
+            defense=args.defense,
+            defense_params=json.loads(args.defense_params) if args.defense_params else {},
+            model=args.model,
+            scale=args.scale,
+            seed=args.seed,
+            dtype=args.dtype,
+            theta=args.theta,
+            gamma=args.gamma,
+            sweep=args.sweep,
+            sweep_values=sweep_values,
+            robustness_budget=args.robustness_budget,
+        )
+    cache = _cache_from(args.cache_dir)
+    context = ExperimentContext(scale=get_profile(spec.scale), seed=spec.seed,
+                                cache=cache, dtype=spec.dtype)
+    report = run_scenario(spec, context=context)
+    _emit("scenario", report.to_json() if args.as_json else report.render(), args.out)
     return 0
 
 
@@ -269,6 +406,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             spec = EXPERIMENTS[experiment_id]
             print(f"{experiment_id:<14} {spec.title}  [{spec.paper_section}]")
         return 0
+
+    if args.command == "list-attacks":
+        ensure_registries()
+        print(_registry_listing(ATTACKS))
+        return 0
+    if args.command == "list-defenses":
+        ensure_registries()
+        print(_registry_listing(DEFENSES))
+        return 0
+    if args.command == "run-scenario":
+        return _cmd_run_scenario(args)
 
     if args.command == "serve":
         return _cmd_serve(args)

@@ -21,11 +21,12 @@ Table VI evaluation code treats them uniformly.
 """
 
 from repro.defenses.adversarial_training import AdversarialTrainingDefense
-from repro.defenses.base import DefendedDetector, Defense
+from repro.defenses.base import DefendedDetector, Defense, NoDefense
 from repro.defenses.dim_reduction import DimensionalityReductionDefense
 from repro.defenses.distillation import DefensiveDistillation
 from repro.defenses.ensemble import EnsembleDefense
 from repro.defenses.feature_squeezing import (
+    SQUEEZERS,
     FeatureSqueezingDefense,
     SqueezedDetector,
     binary_squeeze,
@@ -37,10 +38,12 @@ from repro.defenses.pca import PCA
 __all__ = [
     "Defense",
     "DefendedDetector",
+    "NoDefense",
     "AdversarialTrainingDefense",
     "DefensiveDistillation",
     "FeatureSqueezingDefense",
     "SqueezedDetector",
+    "SQUEEZERS",
     "bit_depth_squeeze",
     "binary_squeeze",
     "small_count_squeeze",

@@ -20,6 +20,7 @@ from repro.data.dataset import Dataset
 from repro.defenses.base import Defense, ModelBackedDetector
 from repro.exceptions import DefenseError
 from repro.models.target_model import TargetModel
+from repro.scenarios.registry import Param, register_defense
 from repro.utils.rng import RandomState, as_rng
 
 
@@ -61,6 +62,39 @@ class AdversarialTrainingData:
         ]
 
 
+def _scenario_fitter(cls, context, params, model=None):
+    """Retrain on the context's corpus plus its cached grey-box advEx set.
+
+    The adversarial set comes from
+    :meth:`~repro.experiments.context.ExperimentContext.greybox_adversarial`
+    at the paper's Table VI operating point by default (θ=0.1, γ=0.02), so
+    the fit is shared with — and artifact-cached alongside — the defense
+    experiments.  The default ``seed_name`` reproduces the Table VI fit for
+    any master seed.
+    """
+    adversarial = context.greybox_adversarial(theta=params["advex_theta"],
+                                              gamma=params["advex_gamma"])
+    defense = cls(scale=context.scale,
+                  adv_train_fraction=params["adv_train_fraction"],
+                  malware_train_fraction=params["malware_train_fraction"],
+                  random_state=context.seeds.seed_for(params["seed_name"]))
+    return defense.fit(context.corpus.train, context.corpus.test, adversarial,
+                       validation=context.corpus.validation)
+
+
+@register_defense("adversarial_training", aliases=("adv_training",),
+                  fitter=_scenario_fitter, params=(
+    Param("adv_train_fraction", "float", 0.4,
+          help="fraction of the adversarial examples mixed into training"),
+    Param("malware_train_fraction", "float", 0.3,
+          help="fraction of the test malware mixed into training"),
+    Param("advex_theta", "float", 0.1,
+          help="theta of the grey-box advEx set trained against (Table VI)"),
+    Param("advex_gamma", "float", 0.02,
+          help="gamma of the grey-box advEx set trained against (Table VI)"),
+    Param("seed_name", "str", "table6:advtraining",
+          help="named seed for subset selection and retraining"),
+))
 class AdversarialTrainingDefense(Defense):
     """Retrain the detector on a training set augmented with adversarial examples.
 

@@ -18,6 +18,7 @@ from repro.config import CLASS_MALWARE
 from repro.data.dataset import Dataset
 from repro.exceptions import DefenseError
 from repro.nn.metrics import ClassificationReport, detection_rate
+from repro.scenarios.registry import register_defense
 from repro.utils.validation import check_matrix
 
 
@@ -110,3 +111,23 @@ class Defense:
     def _finalize(self, detector: DefendedDetector) -> DefendedDetector:
         self.detector = detector
         return detector
+
+
+def _fit_none(cls, context, params, model=None):
+    """Wrap the (served or deployed) detector without any defense."""
+    return cls().fit(model if model is not None else context.target_model)
+
+
+@register_defense("none", fitter=_fit_none, aliases=("no_defense",),
+                  summary="Undefended detector (Table VI 'No Defense' row)")
+class NoDefense(Defense):
+    """The identity defense: the Table VI baseline row.
+
+    Registering "no defense" as a first-class entry keeps every consumer —
+    the scenario engine, ``repro serve --defense``, grid sweeps — on one
+    uniform code path instead of special-casing the undefended detector.
+    """
+
+    def fit(self, model) -> ModelBackedDetector:
+        """Wrap ``model`` in the standard detector surface, unchanged."""
+        return self._finalize(ModelBackedDetector(model, name="no_defense"))

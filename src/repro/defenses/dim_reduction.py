@@ -20,6 +20,7 @@ from repro.defenses.pca import PCA
 from repro.exceptions import DefenseError
 from repro.models.target_model import TargetModel
 from repro.nn.network import NeuralNetwork
+from repro.scenarios.registry import Param, register_defense
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_matrix
 
@@ -46,6 +47,26 @@ class ReducedInputDetector(DefendedDetector):
         return self.model.malware_confidence(self.project(features))
 
 
+def _scenario_fitter(cls, context, params, model=None):
+    """Fit PCA(k) + reduced detector from the context's training corpus.
+
+    ``n_components`` is clipped to the corpus feature count (small scale
+    profiles can carry fewer than the paper's 491 features).  The default
+    ``seed_name`` reproduces the Table VI fit for any master seed.
+    """
+    n_components = min(params["n_components"], context.corpus.train.n_features)
+    defense = cls(n_components=n_components, scale=context.scale,
+                  random_state=context.seeds.seed_for(params["seed_name"]))
+    return defense.fit(context.corpus.train, context.corpus.validation)
+
+
+@register_defense("dim_reduction", aliases=("pca",),
+                  fitter=_scenario_fitter, params=(
+    Param("n_components", "int", PAPER_K,
+          help="number of principal components kept (paper: k = 19)"),
+    Param("seed_name", "str", "table6:dimreduct",
+          help="named seed for the reduced detector's retraining"),
+))
 class DimensionalityReductionDefense(Defense):
     """Fit PCA(k) on the training data and retrain the detector on the projection."""
 

@@ -22,13 +22,30 @@ from repro.models.target_model import TargetModel
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optimizers import Adam
 from repro.nn.training import Trainer
+from repro.scenarios.registry import Param, register_defense
 from repro.utils.rng import RandomState, as_rng, spawn_rngs
 
 
+def _scenario_fitter(cls, context, params, model=None):
+    """Distill teacher and student from the context's training corpus.
+
+    The default ``seed_name`` reproduces the Table VI fit for any master
+    seed.
+    """
+    defense = cls(temperature=params["temperature"], scale=context.scale,
+                  random_state=context.seeds.seed_for(params["seed_name"]))
+    return defense.fit(context.corpus.train, context.corpus.validation)
+
+
+@register_defense("distillation", aliases=("defensive_distillation",),
+                  fitter=_scenario_fitter, params=(
+    Param("temperature", "float", 50.0,
+          help="softmax temperature T for teacher and student training"),
+    Param("seed_name", "str", "table6:distillation",
+          help="named seed for teacher/student initialisation and shuffling"),
+))
 class DefensiveDistillation(Defense):
     """Train a distilled detector at temperature ``T`` (default 50)."""
-
-    name = "defensive_distillation"
 
     def __init__(self, temperature: float = 50.0,
                  scale: Optional[ScaleProfile] = None,

@@ -15,13 +15,14 @@ detectors) with two voting rules:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Mapping, Sequence
 
 import numpy as np
 
 from repro.config import CLASS_CLEAN, CLASS_MALWARE
 from repro.defenses.base import DefendedDetector, Defense
-from repro.exceptions import DefenseError
+from repro.exceptions import ConfigurationError, DefenseError
+from repro.scenarios.registry import DEFENSES, Param, build_defense, register_defense
 from repro.utils.validation import check_matrix
 
 
@@ -82,10 +83,45 @@ class EnsembleDetector(DefendedDetector):
         return combined, np.where(combined >= 0.5, CLASS_MALWARE, CLASS_CLEAN)
 
 
+def _scenario_fitter(cls, context, params, model=None):
+    """Resolve member defenses through the registry, then combine them.
+
+    ``members`` entries are registry ids (``"feature_squeezing"``) or
+    mappings ``{"defense": id, "params": {...}}``.  Members resolve through
+    :func:`~repro.scenarios.registry.build_defense`, so a member that was
+    already fitted on this context (e.g. by a Table VI row) is reused, not
+    refitted.  Nested ensembles are rejected.
+    """
+    members: List[DefendedDetector] = []
+    for member in params["members"]:
+        if isinstance(member, str):
+            member_id, member_params = member, None
+        elif isinstance(member, Mapping):
+            unknown = sorted(set(member) - {"defense", "params"})
+            if unknown or "defense" not in member:
+                raise ConfigurationError(
+                    f"ensemble member {member!r} must be an id or a "
+                    f"{{'defense': id, 'params': {{...}}}} mapping")
+            member_id, member_params = member["defense"], member.get("params")
+        else:
+            raise ConfigurationError(
+                f"ensemble member {member!r} must be an id or a mapping")
+        if DEFENSES.get(member_id).entry_id == "ensemble":
+            raise ConfigurationError("ensembles cannot contain ensembles")
+        members.append(build_defense(member_id, context, member_params,
+                                     model=model))
+    return cls(voting=params["voting"]).fit(members)
+
+
+@register_defense("ensemble", fitter=_scenario_fitter, params=(
+    Param("voting", "str", "average", choices=("average", "any", "majority"),
+          help="how member verdicts combine into one decision"),
+    Param("members", "list", ("none", "feature_squeezing"),
+          help="member defense ids (or {'defense': id, 'params': {...}} "
+               "mappings) resolved through the DefenseRegistry"),
+))
 class EnsembleDefense(Defense):
     """Build an :class:`EnsembleDetector` from already-fitted defenses."""
-
-    name = "ensemble"
 
     def __init__(self, voting: str = "average") -> None:
         super().__init__()

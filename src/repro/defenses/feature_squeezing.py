@@ -31,6 +31,7 @@ from repro.data.dataset import Dataset
 from repro.defenses.base import DefendedDetector, Defense
 from repro.exceptions import DefenseError
 from repro.nn.network import NeuralNetwork
+from repro.scenarios.registry import Param, register_defense
 from repro.utils.validation import check_fraction, check_matrix
 
 
@@ -61,6 +62,14 @@ def small_count_squeeze(features: np.ndarray, threshold: float = 0.12) -> np.nda
     squeezed = np.asarray(features, dtype=np.float64).copy()
     squeezed[squeezed < threshold] = 0.0
     return squeezed
+
+
+#: Named squeezers resolvable from scenario specs and the CLI.
+SQUEEZERS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "small_count": small_count_squeeze,
+    "bit_depth": bit_depth_squeeze,
+    "binary": binary_squeeze,
+}
 
 
 class SqueezedDetector(DefendedDetector):
@@ -116,6 +125,26 @@ class SqueezedDetector(DefendedDetector):
         return confidences, labels
 
 
+def _scenario_fitter(cls, context, params, model=None):
+    """Calibrate the squeezing detector on the defender's validation split.
+
+    ``model`` (when given, e.g. by ``repro serve --defense squeeze``)
+    overrides which network is being guarded; the threshold is always
+    calibrated on the context's legitimate validation data.
+    """
+    network = model.network if model is not None else context.target_model.network
+    defense = cls(squeezer=SQUEEZERS[params["squeezer"]],
+                  false_positive_budget=params["false_positive_budget"])
+    return defense.fit(network, context.corpus.validation)
+
+
+@register_defense("feature_squeezing", aliases=("squeeze",),
+                  fitter=_scenario_fitter, params=(
+    Param("squeezer", "str", "small_count", choices=("small_count", "bit_depth", "binary"),
+          help="squeezing function compared against the raw forward pass"),
+    Param("false_positive_budget", "float", 0.05,
+          help="fraction of legitimate samples allowed to be flagged"),
+))
 class FeatureSqueezingDefense(Defense):
     """Calibrate a squeezing detector on legitimate data.
 

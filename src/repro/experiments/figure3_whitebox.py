@@ -5,6 +5,10 @@
 
 The paper additionally notes that randomly adding features does not decrease
 the detection rate, so each sweep also carries a random-addition baseline.
+
+The figure is three declarative scenarios (see :func:`specs`) run through
+:func:`repro.scenarios.run_scenario`; this module only supplies the specs
+and the two-panel rendering.
 """
 
 from __future__ import annotations
@@ -12,18 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.attacks.jsma import JsmaAttack
-from repro.attacks.random_noise import RandomAdditionAttack
 from repro.evaluation.reports import render_security_curve
 from repro.evaluation.security_curve import (
     SecurityCurve,
-    gamma_sweep,
     paper_gamma_grid,
     paper_theta_grid,
-    theta_sweep,
 )
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
+from repro.scenarios import ScenarioSpec, run_scenario
 
 
 @dataclass
@@ -72,32 +73,40 @@ class Figure3Result:
         return "\n".join(parts)
 
 
+def specs(context: ExperimentContext, n_gamma_points: Optional[int] = None,
+          n_theta_points: Optional[int] = None) -> Dict[str, ScenarioSpec]:
+    """The three scenarios Figure 3 consists of (keyed by panel)."""
+    gamma_grid = tuple(paper_gamma_grid(n_gamma_points
+                                        or context.scale.sweep_points_gamma))
+    theta_grid = tuple(paper_theta_grid(n_theta_points
+                                        or context.scale.sweep_points_theta))
+    common = dict(model="target", scale=context.scale.name, seed=context.seed)
+    return {
+        "gamma": ScenarioSpec(attack="jsma", sweep="gamma", theta=0.1,
+                              sweep_values=gamma_grid,
+                              label="figure3(a) white-box gamma sweep", **common),
+        "theta": ScenarioSpec(attack="jsma", sweep="theta", gamma=0.025,
+                              sweep_values=theta_grid,
+                              label="figure3(b) white-box theta sweep", **common),
+        "random": ScenarioSpec(attack="random_addition",
+                               attack_params={"seed_name": "figure3:random"},
+                               sweep="gamma", theta=0.1, sweep_values=gamma_grid,
+                               label="figure3(a) random-addition control",
+                               **common),
+    }
+
+
 def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
         n_theta_points: Optional[int] = None) -> Figure3Result:
     """Run the white-box sweeps against the target model."""
-    target = context.target_model
-    malware = context.attack_malware
-    models = {"target": target.network}
-    gamma_grid = paper_gamma_grid(n_gamma_points or context.scale.sweep_points_gamma)
-    theta_grid = paper_theta_grid(n_theta_points or context.scale.sweep_points_theta)
-
-    gamma_curve = gamma_sweep(
-        lambda constraints: JsmaAttack(target.network, constraints=constraints),
-        malware.features, models, theta=0.1, gamma_values=gamma_grid)
-    theta_curve = theta_sweep(
-        lambda constraints: JsmaAttack(target.network, constraints=constraints),
-        malware.features, models, gamma=0.025, theta_values=theta_grid)
-    random_seed = context.seeds.seed_for("figure3:random")
-    random_curve = gamma_sweep(
-        lambda constraints: RandomAdditionAttack(target.network, constraints=constraints,
-                                                 random_state=random_seed),
-        malware.features, models, theta=0.1, gamma_values=gamma_grid)
-
+    reports = {panel: run_scenario(spec, context=context)
+               for panel, spec in specs(context, n_gamma_points,
+                                        n_theta_points).items()}
     return Figure3Result(
-        gamma_curve=gamma_curve,
-        theta_curve=theta_curve,
-        random_gamma_curve=random_curve,
-        baseline_detection_rate=target.detection_rate(malware.features),
+        gamma_curve=reports["gamma"].curve,
+        theta_curve=reports["theta"].curve,
+        random_gamma_curve=reports["random"].curve,
+        baseline_detection_rate=reports["gamma"].baseline_detection["target"],
         paper_operating_point={"theta": paper_values.WHITE_BOX["theta"],
                                "gamma": paper_values.WHITE_BOX["gamma"],
                                "detection_rate": paper_values.WHITE_BOX["detection_rate"]},

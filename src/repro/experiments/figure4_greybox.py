@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.attacks.jsma import JsmaAttack
-from repro.attacks.transfer import TransferAttack, TransferResult
+from repro.attacks.transfer import TransferResult
 from repro.attacks.constraints import PerturbationConstraints
 from repro.evaluation.reports import render_security_curve
 from repro.evaluation.security_curve import (
@@ -32,10 +32,10 @@ from repro.evaluation.security_curve import (
     gamma_sweep,
     paper_gamma_grid,
     paper_theta_grid,
-    theta_sweep,
 )
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
+from repro.scenarios import ScenarioSpec, run_scenario
 
 
 @dataclass
@@ -89,8 +89,31 @@ class Figure4Result:
         return "\n".join(parts)
 
 
-def _transfer_models(context: ExperimentContext, substitute) -> Dict[str, object]:
-    return {"substitute": substitute.network, "target": context.target_model.network}
+def specs(context: ExperimentContext, n_gamma_points: Optional[int] = None,
+          n_theta_points: Optional[int] = None) -> Dict[str, ScenarioSpec]:
+    """The count-substitute scenarios Figure 4 consists of (keyed by panel).
+
+    Panel (c) — the binary-feature substitute — needs a bespoke replay step
+    (binary perturbations are realised as added API calls in the target's
+    count space), so it stays in :func:`run`.
+    """
+    gamma_grid = tuple(paper_gamma_grid(n_gamma_points
+                                        or context.scale.sweep_points_gamma))
+    theta_grid = tuple(paper_theta_grid(n_theta_points
+                                        or context.scale.sweep_points_theta))
+    common = dict(attack="jsma", attack_params={"early_stop": False},
+                  model="substitute", scale=context.scale.name,
+                  seed=context.seed)
+    return {
+        "gamma": ScenarioSpec(sweep="gamma", theta=0.1, sweep_values=gamma_grid,
+                              label="figure4(a) grey-box gamma sweep", **common),
+        "theta": ScenarioSpec(sweep="theta", gamma=0.005, sweep_values=theta_grid,
+                              label="figure4(b) grey-box theta sweep", **common),
+        "operating_point": ScenarioSpec(
+            theta=paper_values.GREY_BOX_COUNTS["theta"],
+            gamma=paper_values.GREY_BOX_COUNTS["gamma"],
+            label="figure4 operating point (theta=0.1, gamma=0.005)", **common),
+    }
 
 
 def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
@@ -100,22 +123,19 @@ def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
     substitute = context.substitute_model
     malware = context.attack_malware
     gamma_grid = paper_gamma_grid(n_gamma_points or context.scale.sweep_points_gamma)
-    theta_grid = paper_theta_grid(n_theta_points or context.scale.sweep_points_theta)
 
-    def substitute_attack(constraints: PerturbationConstraints) -> JsmaAttack:
-        return JsmaAttack(substitute.network, constraints=constraints, early_stop=False)
-
-    models = _transfer_models(context, substitute)
-    gamma_curve = gamma_sweep(substitute_attack, malware.features, models,
-                              theta=0.1, gamma_values=gamma_grid)
-    theta_curve = theta_sweep(substitute_attack, malware.features, models,
-                              gamma=0.005, theta_values=theta_grid)
-
-    operating_constraints = PerturbationConstraints(
-        theta=paper_values.GREY_BOX_COUNTS["theta"],
-        gamma=paper_values.GREY_BOX_COUNTS["gamma"])
-    operating_point = TransferAttack(
-        substitute_attack(operating_constraints), target.network).run(malware.features)
+    reports = {panel: run_scenario(spec, context=context)
+               for panel, spec in specs(context, n_gamma_points,
+                                        n_theta_points).items()}
+    gamma_curve = reports["gamma"].curve
+    theta_curve = reports["theta"].curve
+    operating_report = reports["operating_point"]
+    operating_point = TransferResult(
+        attack_result=operating_report.attack_result,
+        substitute_detection_rate=operating_report.detection["substitute"],
+        target_detection_rate=operating_report.detection["target"],
+        target_detection_rate_original=operating_report.baseline_detection["target"],
+    )
 
     # Panel (c): the binary-feature substitute.  The attacker does not know
     # the target's count transformation, so they craft in their own binary

@@ -5,11 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.attacks.live_greybox import LiveGreyBoxAttack, LiveGreyBoxTrace
-from repro.config import CLASS_MALWARE
+from repro.attacks.live_greybox import LiveGreyBoxTrace
 from repro.evaluation.reports import format_table
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
+from repro.scenarios import ScenarioSpec, run_scenario
 
 
 @dataclass
@@ -42,32 +42,24 @@ class LiveGreyBoxResult:
         return f"{table}\n{reference}"
 
 
+def spec(context: ExperimentContext, max_repetitions: int = 8,
+         sample_index: Optional[int] = None) -> ScenarioSpec:
+    """The declarative scenario this experiment consists of."""
+    return ScenarioSpec(
+        attack="live_greybox",
+        attack_params={"max_repetitions": max_repetitions,
+                       "sample_index": sample_index},
+        scale=context.scale.name, seed=context.seed,
+        label="live grey-box source-modification test")
+
+
 def run(context: ExperimentContext, max_repetitions: int = 8,
         sample_index: Optional[int] = None) -> LiveGreyBoxResult:
     """Pick a confidently-detected malware source sample and run the live attack."""
-    target = context.target_model
-    substitute = context.substitute_model
-    pipeline = context.pipeline
-
-    sources = context.generator.generate_source_samples(
-        16, label=CLASS_MALWARE, source="test", rng_name="live_greybox:sources")
-    attack = LiveGreyBoxAttack(target.network, substitute.network, pipeline,
-                               sandbox_os="win7",
-                               random_state=context.seeds.seed_for("live_greybox"))
-
-    if sample_index is None:
-        # Mirror the paper: start from a sample the engine detects with high
-        # (but not saturated) confidence — the paper's sample sat at 98.43%.
-        reference = paper_values.LIVE_GREY_BOX["original_confidence"]
-        scored = [(abs(attack.engine_confidence(sample) - reference), i)
-                  for i, sample in enumerate(sources)]
-        scored.sort()
-        sample_index = scored[0][1]
-    sample = sources[sample_index]
-
-    trace = attack.run(sample, max_repetitions=max_repetitions)
+    report = run_scenario(spec(context, max_repetitions, sample_index),
+                          context=context)
     return LiveGreyBoxResult(
-        trace=trace,
+        trace=report.live_trace,
         paper_original_confidence=paper_values.LIVE_GREY_BOX["original_confidence"],
         paper_confidence_after_1=paper_values.LIVE_GREY_BOX["confidence_after_1"],
         paper_confidence_after_8=paper_values.LIVE_GREY_BOX["confidence_after_8"],

@@ -27,6 +27,8 @@ from repro.models.base import DetectorModel
 from repro.models.substitute_model import SubstituteModel
 from repro.models.target_model import TargetModel
 from repro.nn.engine import compute_dtype
+from repro.scenarios.registry import DEFENSES, build_defense, ensure_registries
+from repro.scenarios.spec import ScenarioSpec
 from repro.utils.artifact_cache import CACHE_SCHEMA_VERSION, ArtifactCache
 
 #: Cache kind under which serving bundles are stored.
@@ -42,6 +44,14 @@ _MODEL_CLASSES = {
 
 #: A builder turns shared experiment state into a (model, fitted pipeline) pair.
 ModelBuilder = Callable[[ExperimentContext], Tuple[DetectorModel, FeaturePipeline]]
+
+#: The bundle builder behind each scenario crafting surface (the ``target``
+#: and ``substitute`` entries are also the registry's default bundles).
+MODEL_BUILDERS: Dict[str, ModelBuilder] = {
+    "target": lambda ctx: (ctx.target_model, ctx.pipeline),
+    "substitute": lambda ctx: (ctx.substitute_model, ctx.pipeline),
+    "binary_substitute": lambda ctx: (ctx.binary_substitute, ctx.binary_pipeline),
+}
 
 
 def bundle_version(name: str, scale: ScaleProfile, seed: int, dtype: str) -> str:
@@ -113,10 +123,11 @@ class ModelRegistry:
             cache = ArtifactCache(cache)
         self.cache = cache
         self._builders: Dict[str, ModelBuilder] = {}
+        self._scenarios: Dict[str, ScenarioSpec] = {}
         self._loaded: Dict[str, ServableModel] = {}
         self.cold_builds = 0
-        self.register("target", lambda ctx: (ctx.target_model, ctx.pipeline))
-        self.register("substitute", lambda ctx: (ctx.substitute_model, ctx.pipeline))
+        self.register("target", MODEL_BUILDERS["target"])
+        self.register("substitute", MODEL_BUILDERS["substitute"])
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -126,6 +137,65 @@ class ModelRegistry:
         if not name or not isinstance(name, str):
             raise ServingError(f"model name must be a non-empty string, got {name!r}")
         self._builders[name] = builder
+
+    def register_scenario(self, name: str,
+                          spec: Union[ScenarioSpec, Dict]) -> None:
+        """Register a scenario-built defended bundle under ``name``.
+
+        The bundle's model follows ``spec.model`` (``target`` /
+        ``substitute`` / ``binary_substitute``) and its endpoint defense —
+        resolved through the DefenseRegistry with ``spec.defense_params`` —
+        is available from :meth:`detector_for`, so a
+        :class:`~repro.serving.service.ScoringService` can serve any cell of
+        the attack x defense grid by name::
+
+            registry.register_scenario("squeezed", ScenarioSpec(
+                defense="feature_squeezing", scale="small"))
+            servable = registry.get("squeezed", context=context)
+            service = ScoringService(
+                servable, detector=registry.detector_for("squeezed", context))
+        """
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_dict(spec)
+        ensure_registries()
+        # Fail at registration time on unknown defenses or bad parameters,
+        # not at first request.  (spec.model is already constrained to
+        # MODEL_KINDS by ScenarioSpec itself.)
+        defense_entry = DEFENSES.get(spec.defense)
+        defense_entry.resolve_params(spec.defense_params)
+        if spec.model == "binary_substitute" and defense_entry.entry_id != "none":
+            # Mirrors run_scenario's rejection: defenses calibrate against
+            # the count feature space, which a binary-feature bundle cannot
+            # score consistently.
+            raise ServingError(
+                f"scenario bundle {name!r}: binary_substitute bundles cannot "
+                f"carry a defense endpoint; use defense='none'")
+        self._scenarios[name] = spec
+        self.register(name, MODEL_BUILDERS[spec.model])
+
+    def scenario_for(self, name: str) -> Optional[ScenarioSpec]:
+        """The spec behind a scenario bundle (None for plain bundles)."""
+        return self._scenarios.get(name)
+
+    def detector_for(self, name: str, context: ExperimentContext):
+        """The fitted defense endpoint of a scenario bundle.
+
+        Returns ``None`` for plain bundles and for scenarios without a
+        defense, so callers can pass the result straight to
+        ``ScoringService(..., detector=...)``.  Wrap-style defenses guard
+        the bundle's *own* model (a substitute-bundle squeezing endpoint is
+        calibrated over the substitute network, not the target's).
+        """
+        spec = self._scenarios.get(name)
+        if spec is None or DEFENSES.get(spec.defense).entry_id == "none":
+            return None
+        model = None
+        if spec.model == "substitute":
+            model = context.substitute_model
+        elif spec.model == "binary_substitute":
+            model = context.binary_substitute
+        return build_defense(spec.defense, context, spec.defense_params,
+                             model=model)
 
     def available(self) -> List[str]:
         """Sorted names of the registered builders."""

@@ -1,0 +1,191 @@
+"""Byte-for-byte parity: run_scenario vs the seed (pre-refactor) drivers.
+
+The figure3/figure4/table6 drivers were re-founded on
+:func:`repro.scenarios.run_scenario`; these tests re-run the *seed* logic
+(hand-wired attacks and defense fits, copied verbatim from the pre-refactor
+drivers) on the same context and assert the scenario-produced numbers and
+renderings are identical under float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.jsma import JsmaAttack
+from repro.attacks.random_noise import RandomAdditionAttack
+from repro.attacks.transfer import TransferAttack
+from repro.config import TINY_PROFILE
+from repro.evaluation.security_curve import (
+    gamma_sweep,
+    paper_gamma_grid,
+    paper_theta_grid,
+    theta_sweep,
+)
+from repro.experiments import figure3_whitebox, figure4_greybox, table6_defense
+from repro.experiments import paper_values
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def parity_context():
+    """A float64-pinned tiny context shared by driver and seed-equivalent runs."""
+    return ExperimentContext(scale=TINY_PROFILE, seed=123, dtype="float64")
+
+
+def _curves_identical(actual, expected):
+    assert actual.swept_parameter == expected.swept_parameter
+    assert actual.attack_name == expected.attack_name
+    assert len(actual.points) == len(expected.points)
+    for got, want in zip(actual.points, expected.points):
+        assert got.theta == want.theta and got.gamma == want.gamma
+        assert got.n_perturbed_features == want.n_perturbed_features
+        assert got.detection_rates == want.detection_rates
+        assert got.evaded_counts == want.evaded_counts
+        assert got.mean_l2_distance == want.mean_l2_distance
+
+
+class TestFigure3Parity:
+    def test_scenario_run_matches_seed_driver(self, parity_context):
+        context = parity_context
+        result = figure3_whitebox.run(context)
+
+        # Seed-equivalent computation (pre-refactor figure3_whitebox.run).
+        target = context.target_model
+        malware = context.attack_malware
+        models = {"target": target.network}
+        gamma_grid = paper_gamma_grid(context.scale.sweep_points_gamma)
+        theta_grid = paper_theta_grid(context.scale.sweep_points_theta)
+        gamma_curve = gamma_sweep(
+            lambda constraints: JsmaAttack(target.network, constraints=constraints),
+            malware.features, models, theta=0.1, gamma_values=gamma_grid)
+        theta_curve = theta_sweep(
+            lambda constraints: JsmaAttack(target.network, constraints=constraints),
+            malware.features, models, gamma=0.025, theta_values=theta_grid)
+        random_seed = context.seeds.seed_for("figure3:random")
+        random_curve = gamma_sweep(
+            lambda constraints: RandomAdditionAttack(
+                target.network, constraints=constraints, random_state=random_seed),
+            malware.features, models, theta=0.1, gamma_values=gamma_grid)
+
+        _curves_identical(result.gamma_curve, gamma_curve)
+        _curves_identical(result.theta_curve, theta_curve)
+        _curves_identical(result.random_gamma_curve, random_curve)
+        assert result.baseline_detection_rate == \
+            target.detection_rate(malware.features)
+
+    def test_rendering_is_byte_identical(self, parity_context):
+        first = figure3_whitebox.run(parity_context).render()
+        second = figure3_whitebox.run(parity_context).render()
+        assert first == second
+
+
+class TestFigure4Parity:
+    def test_scenario_run_matches_seed_driver(self, parity_context):
+        context = parity_context
+        result = figure4_greybox.run(context)
+
+        # Seed-equivalent computation (pre-refactor figure4_greybox.run,
+        # count-substitute panels).
+        target = context.target_model
+        substitute = context.substitute_model
+        malware = context.attack_malware
+        gamma_grid = paper_gamma_grid(context.scale.sweep_points_gamma)
+        theta_grid = paper_theta_grid(context.scale.sweep_points_theta)
+
+        def substitute_attack(constraints):
+            return JsmaAttack(substitute.network, constraints=constraints,
+                              early_stop=False)
+
+        models = {"substitute": substitute.network, "target": target.network}
+        gamma_curve = gamma_sweep(substitute_attack, malware.features, models,
+                                  theta=0.1, gamma_values=gamma_grid)
+        theta_curve = theta_sweep(substitute_attack, malware.features, models,
+                                  gamma=0.005, theta_values=theta_grid)
+        operating_constraints = PerturbationConstraints(
+            theta=paper_values.GREY_BOX_COUNTS["theta"],
+            gamma=paper_values.GREY_BOX_COUNTS["gamma"])
+        operating = TransferAttack(substitute_attack(operating_constraints),
+                                   target.network).run(malware.features)
+
+        _curves_identical(result.gamma_curve, gamma_curve)
+        _curves_identical(result.theta_curve, theta_curve)
+        assert result.operating_point.substitute_detection_rate == \
+            operating.substitute_detection_rate
+        assert result.operating_point.target_detection_rate == \
+            operating.target_detection_rate
+        assert result.operating_point.target_detection_rate_original == \
+            operating.target_detection_rate_original
+        assert np.array_equal(result.operating_point.attack_result.adversarial,
+                              operating.attack_result.adversarial)
+        assert result.baseline_detection_rate == \
+            target.detection_rate(malware.features)
+
+
+class TestTable6Parity:
+    def test_scenario_run_matches_seed_driver(self, parity_context):
+        context = parity_context
+        result = table6_defense.run(context)
+
+        # Seed-equivalent computation (pre-refactor table6_defense.run).
+        from repro.defenses.adversarial_training import AdversarialTrainingDefense
+        from repro.defenses.base import ModelBackedDetector
+        from repro.defenses.dim_reduction import DimensionalityReductionDefense
+        from repro.defenses.distillation import DefensiveDistillation
+        from repro.defenses.feature_squeezing import FeatureSqueezingDefense
+
+        corpus = context.corpus
+        target = context.target_model
+        clean_test = corpus.test.clean_only()
+        malware_test = corpus.test.malware_only()
+        advex = context.greybox_adversarial(
+            theta=paper_values.DEFENSE_PARAMS["adv_training_theta"],
+            gamma=paper_values.DEFENSE_PARAMS["adv_training_gamma"])
+        temperature = paper_values.DEFENSE_PARAMS["distillation_temperature"]
+        n_components = min(paper_values.DEFENSE_PARAMS["pca_components"],
+                           corpus.train.n_features)
+
+        def evaluate(detector):
+            return {
+                "clean_test": {"tpr": float("nan"),
+                               "tnr": detector.report(clean_test).tnr},
+                "malware_test": {"tpr": detector.report(malware_test).tpr,
+                                 "tnr": float("nan")},
+                "advex_test": {"tpr": detector.detection_rate(advex.features),
+                               "tnr": float("nan")},
+            }
+
+        expected = {}
+        expected["no_defense"] = evaluate(
+            ModelBackedDetector(target, name="no_defense"))
+        adv_training = AdversarialTrainingDefense(
+            scale=context.scale,
+            random_state=context.seeds.seed_for("table6:advtraining"))
+        expected["adversarial_training"] = evaluate(
+            adv_training.fit(corpus.train, corpus.test, advex,
+                             validation=corpus.validation))
+        distillation = DefensiveDistillation(
+            temperature=temperature, scale=context.scale,
+            random_state=context.seeds.seed_for("table6:distillation"))
+        expected["distillation"] = evaluate(
+            distillation.fit(corpus.train, corpus.validation))
+        expected["feature_squeezing"] = evaluate(
+            FeatureSqueezingDefense().fit(target.network, corpus.validation))
+        dim_reduction = DimensionalityReductionDefense(
+            n_components=n_components, scale=context.scale,
+            random_state=context.seeds.seed_for("table6:dimreduct"))
+        expected["dim_reduction"] = evaluate(
+            dim_reduction.fit(corpus.train, corpus.validation))
+
+        assert sorted(result.results) == sorted(expected)
+        for defense, per_dataset in expected.items():
+            for dataset, rates in per_dataset.items():
+                for metric, value in rates.items():
+                    measured = result.results[defense][dataset][metric]
+                    if np.isnan(value):
+                        assert np.isnan(measured)
+                    else:
+                        assert measured == value, (defense, dataset, metric)
+
+    def test_rendering_is_byte_identical_across_runs(self, parity_context):
+        assert table6_defense.run(parity_context).render() == \
+            table6_defense.run(parity_context).render()

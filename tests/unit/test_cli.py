@@ -91,6 +91,83 @@ class TestLoadScoringSource:
             load_scoring_source(log_file)
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestScenarioCommands:
+    def test_list_attacks_prints_registry(self, capsys):
+        from repro.scenarios import ATTACKS
+
+        assert main(["list-attacks"]) == 0
+        output = capsys.readouterr().out
+        for attack_id in ATTACKS.available():
+            assert attack_id in output
+        assert "early_stop" in output  # schemas are rendered
+
+    def test_list_defenses_prints_registry_with_aliases(self, capsys):
+        from repro.scenarios import DEFENSES
+
+        assert main(["list-defenses"]) == 0
+        output = capsys.readouterr().out
+        for defense_id in DEFENSES.available():
+            assert defense_id in output
+        assert "squeeze" in output
+        assert "temperature" in output
+
+    def test_run_scenario_defense_choices_come_from_the_registry(self):
+        args = build_parser().parse_args(
+            ["run-scenario", "--defense", "feature_squeezing"])
+        assert args.defense == "feature_squeezing"
+        args = build_parser().parse_args(["run-scenario", "--defense", "squeeze"])
+        assert args.defense == "squeeze"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-scenario", "--defense", "tinfoil"])
+
+    def test_run_scenario_point_prints_report(self, capsys):
+        code = main(["run-scenario", "--scale", "tiny", "--seed", "3",
+                     "--attack", "random_addition", "--theta", "0.1",
+                     "--gamma", "0.02"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario: attack=random_addition" in output
+        assert "detection[target]" in output
+
+    def test_run_scenario_json_output_is_parseable(self, capsys, tmp_path):
+        code = main(["run-scenario", "--scale", "tiny", "--seed", "3",
+                     "--attack", "random_addition", "--sweep", "gamma",
+                     "--sweep-values", "0,0.01", "--json",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack"] == "random_addition"
+        assert len(payload["curve"]["points"]) == 2
+        assert (tmp_path / "scenario.txt").exists()
+
+    def test_run_scenario_from_spec_file(self, capsys, tmp_path):
+        from repro.scenarios import ScenarioSpec
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(ScenarioSpec(
+            attack="random_addition", scale="tiny", seed=3,
+            theta=0.1, gamma=0.02).to_json(), encoding="utf-8")
+        assert main(["run-scenario", "--spec", str(spec_file)]) == 0
+        assert "attack=random_addition" in capsys.readouterr().out
+
+    def test_run_scenario_rejects_unknown_attack_param(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            main(["run-scenario", "--scale", "tiny",
+                  "--attack-params", '{"warp": 9}'])
+
+
 class TestMain:
     def test_list_prints_every_experiment(self, capsys):
         assert main(["list"]) == 0
@@ -169,6 +246,7 @@ class TestServingCommands:
         assert "serving" in output
         assert "target" in output
         assert "entries" in output and "bytes total" in output
+        assert "KiB" in output or "MiB" in output  # human-readable sizes
 
     def test_cache_info_on_empty_cache(self, capsys, tmp_path):
         assert main(["cache-info", "--cache-dir", str(tmp_path / "empty")]) == 0

@@ -1,0 +1,192 @@
+"""Registry completeness and parameter-schema tests for repro.scenarios."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro.attacks
+import repro.defenses
+from repro.attacks.base import Attack
+from repro.defenses.base import Defense
+from repro.exceptions import ConfigurationError
+from repro.scenarios import ATTACKS, DEFENSES, Param, build_defense
+
+
+def _attack_classes():
+    classes = set()
+    for module_info in pkgutil.iter_modules(repro.attacks.__path__):
+        module = importlib.import_module(f"repro.attacks.{module_info.name}")
+        for _, cls in inspect.getmembers(module, inspect.isclass):
+            if (issubclass(cls, Attack) and cls is not Attack
+                    and cls.__module__.startswith("repro.attacks")
+                    and "run" in cls.__dict__):
+                classes.add(cls)
+    return classes
+
+
+def _defense_classes():
+    classes = set()
+    for module_info in pkgutil.iter_modules(repro.defenses.__path__):
+        module = importlib.import_module(f"repro.defenses.{module_info.name}")
+        for _, cls in inspect.getmembers(module, inspect.isclass):
+            if (issubclass(cls, Defense) and cls is not Defense
+                    and cls.__module__.startswith("repro.defenses")
+                    and "fit" in cls.__dict__):
+                classes.add(cls)
+    return classes
+
+
+class TestRegistryCompleteness:
+    def test_every_concrete_attack_is_registered_exactly_once(self):
+        registered = {entry.cls for entry in ATTACKS.entries()}
+        for cls in _attack_classes():
+            assert cls in registered, f"{cls.__name__} is not registered"
+        # exactly once: entry_for_class finds one entry and ids are unique keys
+        for cls in registered:
+            matches = [e for e in ATTACKS.entries() if e.cls is cls]
+            assert len(matches) == 1
+
+    def test_live_greybox_attack_is_registered(self):
+        from repro.attacks.live_greybox import LiveGreyBoxAttack
+
+        entry = ATTACKS.get("live_greybox")
+        assert entry.cls is LiveGreyBoxAttack
+        assert entry.kind == "live"
+
+    def test_every_concrete_defense_is_registered_exactly_once(self):
+        registered = {entry.cls for entry in DEFENSES.entries()}
+        for cls in _defense_classes():
+            assert cls in registered, f"{cls.__name__} is not registered"
+        for cls in registered:
+            matches = [e for e in DEFENSES.entries() if e.cls is cls]
+            assert len(matches) == 1
+
+    def test_ids_and_aliases_do_not_collide(self):
+        for registry in (ATTACKS, DEFENSES):
+            names = []
+            for entry in registry.entries():
+                names.append(entry.entry_id)
+                names.extend(entry.aliases)
+            assert len(names) == len(set(names))
+
+    def test_aliases_resolve_to_canonical_entries(self):
+        assert ATTACKS.get("random_noise").entry_id == "random_addition"
+        assert DEFENSES.get("squeeze").entry_id == "feature_squeezing"
+        assert DEFENSES.get("no_defense").entry_id == "none"
+        assert DEFENSES.get("defensive_distillation").entry_id == "distillation"
+        assert DEFENSES.get("pca").entry_id == "dim_reduction"
+
+    def test_unknown_ids_raise(self):
+        with pytest.raises(ConfigurationError):
+            ATTACKS.get("gradient_descent_9000")
+        with pytest.raises(ConfigurationError):
+            DEFENSES.get("prayer")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.scenarios.registry import ComponentRegistry
+
+        registry = ComponentRegistry("thing")
+        registry.register("a", int, factory=lambda *a: None)
+        with pytest.raises(ConfigurationError):
+            registry.register("a", float, factory=lambda *a: None)
+        with pytest.raises(ConfigurationError):
+            registry.register("b", int, factory=lambda *a: None)  # class reused
+        with pytest.raises(ConfigurationError):
+            registry.register("c", str, aliases=("a",), factory=lambda *a: None)
+
+
+class TestAttackNameStamping:
+    def test_registry_id_is_stamped_on_every_attack_class(self):
+        for entry in ATTACKS.entries():
+            assert entry.cls.name == entry.entry_id
+
+    def test_no_registered_attack_reports_the_placeholder_name(self):
+        for entry in ATTACKS.entries():
+            assert entry.cls.name != "attack"
+
+    def test_attack_results_carry_the_registry_id(self, small_mlp):
+        import numpy as np
+
+        from repro.attacks.constraints import PerturbationConstraints
+        from repro.attacks.fgsm import FgsmAttack
+        from repro.attacks.jsma import JsmaAttack
+        from repro.attacks.random_noise import RandomAdditionAttack
+
+        features = np.random.default_rng(0).uniform(0.0, 0.4, size=(6, 12))
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.2)
+        for cls, expected in ((JsmaAttack, "jsma"), (FgsmAttack, "fgsm"),
+                              (RandomAdditionAttack, "random_addition")):
+            result = cls(small_mlp, constraints=constraints).run(features)
+            assert result.attack_name == expected
+
+
+class TestParamSchemas:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            ATTACKS.get("jsma").resolve_params({"warp_factor": 9})
+
+    def test_type_mismatch_rejected(self):
+        entry = ATTACKS.get("jsma")
+        with pytest.raises(ConfigurationError):
+            entry.resolve_params({"early_stop": "yes"})
+        with pytest.raises(ConfigurationError):
+            entry.resolve_params({"features_per_step": 1.5})
+
+    def test_choices_enforced(self):
+        with pytest.raises(ConfigurationError):
+            DEFENSES.get("feature_squeezing").resolve_params({"squeezer": "jpeg"})
+        with pytest.raises(ConfigurationError):
+            ATTACKS.get("jsma").resolve_params({"target_class": 3})
+
+    def test_defaults_fill_and_overrides_apply(self):
+        resolved = ATTACKS.get("jsma").resolve_params({"early_stop": False})
+        assert resolved["early_stop"] is False
+        assert resolved["use_saliency_map"] is True
+        assert resolved["features_per_step"] == 1
+
+    def test_optional_float_accepts_none_and_int(self):
+        entry = ATTACKS.get("fgsm")
+        assert entry.resolve_params({"epsilon": None})["epsilon"] is None
+        assert entry.resolve_params({"epsilon": 1})["epsilon"] == 1.0
+
+    def test_every_declared_default_validates_against_its_schema(self):
+        for registry in (ATTACKS, DEFENSES):
+            for entry in registry.entries():
+                resolved = entry.resolve_params({})
+                for param in entry.params:
+                    if resolved[param.name] is not None:
+                        param.validate(resolved[param.name])
+
+    def test_param_kind_vocabulary_is_closed(self):
+        with pytest.raises(ConfigurationError):
+            Param("x", "complex", 1j)
+
+
+class TestBuildDefense:
+    def test_fits_are_memoised_per_context(self, tiny_context):
+        first = build_defense("none", tiny_context)
+        second = build_defense("none", tiny_context)
+        assert first is second
+
+    def test_different_params_fit_different_detectors(self, tiny_context):
+        default = build_defense("feature_squeezing", tiny_context)
+        loose = build_defense("feature_squeezing", tiny_context,
+                              {"false_positive_budget": 0.2})
+        assert default is not loose
+
+    def test_model_override_bypasses_the_memo(self, tiny_context, tiny_target):
+        memoised = build_defense("none", tiny_context)
+        overridden = build_defense("none", tiny_context, model=tiny_target)
+        assert overridden is not memoised
+
+    def test_ensemble_reuses_member_fits(self, tiny_context):
+        member = build_defense("feature_squeezing", tiny_context)
+        ensemble = build_defense("ensemble", tiny_context,
+                                 {"members": ("none", "feature_squeezing")})
+        assert member in ensemble.members
+
+    def test_nested_ensembles_rejected(self, tiny_context):
+        with pytest.raises(ConfigurationError, match="ensemble"):
+            build_defense("ensemble", tiny_context, {"members": ("ensemble",)})

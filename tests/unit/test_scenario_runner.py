@@ -1,0 +1,163 @@
+"""Engine-level tests for run_scenario (payload shapes, caching, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import ScenarioSpec, run_scenario
+
+
+class TestPointScenarios:
+    def test_whitebox_point_payload(self, tiny_context):
+        report = run_scenario(ScenarioSpec(attack="jsma", theta=0.1, gamma=0.02),
+                              context=tiny_context)
+        assert report.attack_name == "jsma"
+        assert report.defense_name == "none"
+        assert report.curve is None and report.live_trace is None
+        assert report.attack_result is not None
+        assert set(report.detection) == {"target"}
+        assert 0.0 <= report.detection["target"] <= 1.0
+        assert report.transfer_rate is None  # white-box has no transfer notion
+        assert set(report.defense_eval) == {"clean_test", "malware_test",
+                                            "advex_test"}
+
+    def test_greybox_point_reports_transfer(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(attack="jsma", attack_params={"early_stop": False},
+                         model="substitute", theta=0.1, gamma=0.02),
+            context=tiny_context)
+        assert set(report.detection) == {"substitute", "target"}
+        assert report.transfer_rate == 1.0 - report.detection["target"]
+
+    def test_canonical_greybox_reuses_cached_advex(self, tiny_context):
+        spec = ScenarioSpec(attack="jsma", attack_params={"early_stop": False},
+                            model="substitute", theta=0.1, gamma=0.02)
+        report = run_scenario(spec, context=tiny_context)
+        cached = tiny_context.greybox_adversarial(theta=0.1, gamma=0.02)
+        assert np.array_equal(report.attack_result.adversarial, cached.features)
+
+    def test_defended_point_adds_detector_surface(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(defense="feature_squeezing", theta=0.1, gamma=0.02),
+            context=tiny_context)
+        assert "defended[feature_squeezing]" in report.detection
+        assert report.detector_name == "feature_squeezing"
+
+    def test_mapping_spec_accepted(self, tiny_context):
+        report = run_scenario({"attack": "random_addition", "theta": 0.1,
+                               "gamma": 0.02}, context=tiny_context)
+        assert report.attack_name == "random_addition"
+
+
+class TestSweepScenarios:
+    def test_sweep_produces_curve_and_no_point_payload(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(attack="random_addition", sweep="gamma", theta=0.1,
+                         sweep_values=(0.0, 0.01, 0.02)),
+            context=tiny_context)
+        assert report.attack_result is None and report.defense_eval is None
+        assert [point.gamma for point in report.curve.points] == [0.0, 0.01, 0.02]
+        assert report.curve.attack_name == "random_addition"
+        assert "target" in report.baseline_detection
+
+    def test_default_grid_follows_scale_profile(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(attack="random_addition", sweep="gamma", theta=0.1),
+            context=tiny_context)
+        assert len(report.curve.points) == tiny_context.scale.sweep_points_gamma
+
+    def test_theta_sweep_holds_gamma_fixed(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(attack="random_addition", sweep="theta", gamma=0.02,
+                         sweep_values=(0.0, 0.1)),
+            context=tiny_context)
+        assert all(point.gamma == 0.02 for point in report.curve.points)
+        assert [point.theta for point in report.curve.points] == [0.0, 0.1]
+
+
+class TestRobustness:
+    def test_robustness_budget_adds_distribution(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(attack="jsma", theta=0.1, gamma=0.02,
+                         robustness_budget=5),
+            context=tiny_context)
+        assert report.robustness is not None
+        assert report.robustness.max_features == 5
+        assert "robustness[evadable_fraction]" in report.summary()
+
+
+class TestBinarySubstitute:
+    def test_binary_point_run_has_no_defense_cells(self, tiny_context):
+        # The target's count-space detector cannot score binary matrices, so
+        # the report must not fabricate Table VI cells for them.
+        report = run_scenario(
+            ScenarioSpec(attack="jsma", attack_params={"early_stop": False},
+                         model="binary_substitute", theta=1.0, gamma=0.02),
+            context=tiny_context)
+        assert report.defense_eval is None
+        assert set(report.detection) == {"binary_substitute"}
+
+    def test_binary_substitute_rejects_defenses(self, tiny_context):
+        with pytest.raises(ConfigurationError, match="count feature space"):
+            run_scenario(ScenarioSpec(model="binary_substitute",
+                                      defense="feature_squeezing"),
+                         context=tiny_context)
+
+
+class TestValidationAndSerialisation:
+    def test_unknown_attack_rejected_before_any_build(self, tiny_context):
+        with pytest.raises(ConfigurationError, match="unknown attack"):
+            run_scenario(ScenarioSpec(attack="rowhammer"), context=tiny_context)
+
+    def test_live_scenarios_reject_defenses(self, tiny_context):
+        with pytest.raises(ConfigurationError, match="undefended engine"):
+            run_scenario(ScenarioSpec(attack="live_greybox",
+                                      defense="feature_squeezing"),
+                         context=tiny_context)
+
+    def test_live_scenarios_reject_sweeps_and_robustness(self, tiny_context):
+        with pytest.raises(ConfigurationError, match="do not apply"):
+            run_scenario(ScenarioSpec(attack="live_greybox", sweep="gamma"),
+                         context=tiny_context)
+        with pytest.raises(ConfigurationError, match="do not apply"):
+            run_scenario(ScenarioSpec(attack="live_greybox",
+                                      robustness_budget=5),
+                         context=tiny_context)
+
+    def test_point_report_json_is_strict_rfc8259(self, tiny_context):
+        # defense_eval carries nan cells (TPR of a clean-only set); the JSON
+        # payload must encode them as null, never as Python's NaN token.
+        report = run_scenario(
+            ScenarioSpec(attack="random_addition", theta=0.1, gamma=0.02),
+            context=tiny_context)
+        text = report.to_json()
+        assert "NaN" not in text
+        import json
+
+        payload = json.loads(text)
+        assert payload["defense_eval"]["clean_test"]["tpr"] is None
+        assert payload["defense_eval"]["clean_test"]["tnr"] is not None
+
+    def test_unknown_defense_param_rejected(self, tiny_context):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            run_scenario(ScenarioSpec(defense="distillation",
+                                      defense_params={"degrees": 451}),
+                         context=tiny_context)
+
+    def test_report_json_round_trips_through_json_module(self, tiny_context):
+        import json
+
+        report = run_scenario(
+            ScenarioSpec(attack="random_addition", theta=0.1, gamma=0.02),
+            context=tiny_context)
+        payload = json.loads(report.to_json())
+        assert payload["spec"]["attack"] == "random_addition"
+        assert payload["attack_summary"]["n_samples"] > 0
+
+    def test_render_mentions_key_facts(self, tiny_context):
+        report = run_scenario(
+            ScenarioSpec(attack="random_addition", theta=0.1, gamma=0.02),
+            context=tiny_context)
+        rendered = report.render()
+        assert "attack=random_addition" in rendered
+        assert "defense evaluation" in rendered

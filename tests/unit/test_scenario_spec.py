@@ -1,0 +1,135 @@
+"""ScenarioSpec validation, JSON round-trips and grid expansion."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import ScenarioSpec
+
+
+class TestValidation:
+    def test_defaults_are_a_valid_whitebox_point(self):
+        spec = ScenarioSpec()
+        assert spec.attack == "jsma"
+        assert spec.defense == "none"
+        assert spec.model == "target"
+        assert spec.sweep is None
+
+    def test_model_kind_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(model="oracle")
+
+    def test_sweep_name_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(sweep="epsilon")
+
+    def test_negative_constraints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(theta=-0.1)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(gamma=-0.01)
+
+    def test_sweep_values_require_a_sweep(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(sweep_values=(0.0, 0.01))
+
+    def test_robustness_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(robustness_budget=0)
+
+    def test_params_are_copied_not_aliased(self):
+        params = {"early_stop": False}
+        spec = ScenarioSpec(attack_params=params)
+        params["early_stop"] = True
+        assert spec.attack_params == {"early_stop": False}
+
+
+class TestRoundTrip:
+    def _rich_spec(self):
+        return ScenarioSpec(
+            attack="jsma", attack_params={"early_stop": False},
+            defense="feature_squeezing",
+            defense_params={"false_positive_budget": 0.1},
+            model="substitute", scale="tiny", seed=7, dtype="float64",
+            theta=0.1, gamma=0.005, sweep="gamma",
+            sweep_values=(0.0, 0.005, 0.01), robustness_budget=5,
+            label="round trip")
+
+    def test_dict_round_trip_is_identity(self):
+        spec = self._rich_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_identity(self):
+        spec = self._rich_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_to_json_is_plain_json(self):
+        payload = json.loads(self._rich_spec().to_json())
+        assert payload["sweep_values"] == [0.0, 0.005, 0.01]
+        assert payload["attack_params"] == {"early_stop": False}
+
+    def test_default_round_trip_is_identity(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario spec keys"):
+            ScenarioSpec.from_dict({"attack": "jsma", "strength": 11})
+
+    def test_null_params_in_spec_files_mean_no_overrides(self):
+        spec = ScenarioSpec.from_json(
+            '{"attack": "jsma", "attack_params": null, "defense_params": null}')
+        assert spec.attack_params == {} and spec.defense_params == {}
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid scenario spec JSON"):
+            ScenarioSpec.from_json("{not json")
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(["jsma"])
+
+    def test_with_overrides_returns_modified_copy(self):
+        spec = ScenarioSpec()
+        changed = spec.with_overrides(defense="distillation", gamma=0.03)
+        assert changed.defense == "distillation"
+        assert changed.gamma == 0.03
+        assert spec.defense == "none"
+
+
+class TestGrid:
+    def test_grid_covers_the_full_product(self):
+        specs = ScenarioSpec.grid(
+            attacks=["jsma", "fgsm"],
+            defenses=["none", "feature_squeezing", "dim_reduction"],
+            scale="tiny", seed=3)
+        assert len(specs) == 6
+        cells = {(s.attack, s.defense) for s in specs}
+        assert cells == {(a, d) for a in ("jsma", "fgsm")
+                         for d in ("none", "feature_squeezing", "dim_reduction")}
+        assert all(s.scale == "tiny" and s.seed == 3 for s in specs)
+        assert all(s.label == f"{s.attack} vs {s.defense}" for s in specs)
+
+    def test_grid_entries_can_carry_params(self):
+        specs = ScenarioSpec.grid(
+            attacks=[{"id": "jsma", "params": {"early_stop": False}}],
+            defenses=[{"id": "distillation", "params": {"temperature": 10.0}}])
+        (spec,) = specs
+        assert spec.attack_params == {"early_stop": False}
+        assert spec.defense_params == {"temperature": 10.0}
+
+    def test_grid_rejects_malformed_entries(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.grid(attacks=[{"params": {}}])
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.grid(defenses=[{"id": "none", "extra": 1}])
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.grid(attacks=[42])
+
+    def test_grid_defenses_iterate_fastest(self):
+        specs = ScenarioSpec.grid(attacks=["jsma", "fgsm"],
+                                  defenses=["none", "feature_squeezing"])
+        assert [(s.attack, s.defense) for s in specs] == [
+            ("jsma", "none"), ("jsma", "feature_squeezing"),
+            ("fgsm", "none"), ("fgsm", "feature_squeezing")]

@@ -209,6 +209,76 @@ class TestModelRegistry:
         assert registry.cold_builds == 1
 
 
+class TestScenarioBundles:
+    def test_register_scenario_serves_defended_bundle(self, tiny_context):
+        from repro.scenarios import ScenarioSpec
+
+        registry = ModelRegistry()
+        registry.register_scenario("squeezed_target", ScenarioSpec(
+            defense="feature_squeezing", scale="tiny"))
+        assert "squeezed_target" in registry.available()
+        assert registry.scenario_for("squeezed_target").defense == \
+            "feature_squeezing"
+
+        servable = registry.get("squeezed_target", context=tiny_context)
+        detector = registry.detector_for("squeezed_target", tiny_context)
+        assert servable.model is tiny_context.target_model
+        assert detector is not None and detector.name == "feature_squeezing"
+
+        from repro.serving import ScoringService
+
+        service = ScoringService(servable, detector=detector)
+        assert service.defense_name == "feature_squeezing"
+
+    def test_detector_guards_the_bundles_own_model(self, tiny_context):
+        from repro.scenarios import ScenarioSpec
+
+        registry = ModelRegistry()
+        registry.register_scenario("squeezed_substitute", ScenarioSpec(
+            model="substitute", defense="feature_squeezing", scale="tiny"))
+        detector = registry.detector_for("squeezed_substitute", tiny_context)
+        assert detector.network is tiny_context.substitute_model.network
+
+    def test_scenario_spec_accepts_plain_mapping(self, tiny_context):
+        registry = ModelRegistry()
+        registry.register_scenario("greybox", {"model": "substitute",
+                                               "defense": "none",
+                                               "scale": "tiny"})
+        servable = registry.get("greybox", context=tiny_context)
+        assert servable.model is tiny_context.substitute_model
+        assert registry.detector_for("greybox", tiny_context) is None
+
+    def test_plain_bundles_have_no_detector(self, tiny_context):
+        registry = ModelRegistry()
+        assert registry.detector_for("target", tiny_context) is None
+        assert registry.scenario_for("target") is None
+
+    def test_register_scenario_rejects_defended_binary_bundles(self):
+        from repro.scenarios import ScenarioSpec
+
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="binary_substitute"):
+            registry.register_scenario("bad", ScenarioSpec(
+                model="binary_substitute", defense="feature_squeezing",
+                scale="tiny"))
+        # The undefended binary bundle stays serveable.
+        registry.register_scenario("ok", ScenarioSpec(
+            model="binary_substitute", defense="none", scale="tiny"))
+        assert "ok" in registry.available()
+
+    def test_register_scenario_validates_defense_and_params(self):
+        from repro.exceptions import ConfigurationError
+        from repro.scenarios import ScenarioSpec
+
+        registry = ModelRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register_scenario("bad", ScenarioSpec(defense="tinfoil"))
+        with pytest.raises(ConfigurationError):
+            registry.register_scenario("bad", ScenarioSpec(
+                defense="distillation",
+                defense_params={"temperature": "hot"}))
+
+
 class TestTrafficMix:
     def test_rejects_negative_and_zero_mix(self):
         with pytest.raises(ServingError):
