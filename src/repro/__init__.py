@@ -15,7 +15,10 @@ The package is organised bottom-up:
 * :mod:`repro.evaluation` — security curves, L2 analysis and table rendering,
 * :mod:`repro.experiments` — one driver per paper table/figure,
 * :mod:`repro.serving` — the batched malware-scoring service (model
-  registry, micro-batcher, verdict facade, load generator).
+  registry, micro-batcher, verdict facade, load generator),
+* :mod:`repro.parallel` — the process-pool execution engine
+  (:class:`~repro.parallel.GridExecutor` for scenario grids,
+  :class:`~repro.parallel.WorkerFleet` for multi-worker serving).
 
 Quickstart::
 
@@ -59,6 +62,7 @@ from repro.experiments import ExperimentContext, available_experiments, run_expe
 from repro.features import FeaturePipeline
 from repro.models import SubstituteModel, TargetModel
 from repro.nn import NeuralNetwork, compute_dtype, set_default_dtype, use_dtype
+from repro.parallel import FleetReport, GridExecutor, GridResult, WorkerFleet
 from repro.scenarios import ScenarioSpec, run_scenario
 from repro.serving import (
     LoadGenerator,
@@ -96,4 +100,6 @@ __all__ = [
     # serving
     "ModelRegistry", "ServableModel", "ScoringService", "MicroBatcher",
     "LoadGenerator", "TrafficMix", "Verdict",
+    # parallel execution (grid sharding + replicated serving)
+    "GridExecutor", "GridResult", "WorkerFleet", "FleetReport",
 ]

@@ -13,8 +13,13 @@ Usage examples::
     repro-experiments run-scenario --attack jsma --defense feature_squeezing \\
         --model substitute --scale tiny --theta 0.1 --gamma 0.02
     repro-experiments run-scenario --spec scenario.json --json
+    repro-experiments run-scenario --spec scenarios.json --workers 4
+
+    repro-experiments run-grid --attacks jsma,random_addition \\
+        --defenses none,feature_squeezing --model substitute --workers 4
 
     repro-experiments serve --scale small --cache-dir default --requests 512
+    repro-experiments serve --scale small --workers 4 --requests 2048
     repro-experiments score sample.log --scale tiny --cache-dir default
     repro-experiments cache-info --cache-dir default
 
@@ -28,12 +33,19 @@ compute engine precision per invocation (first-class alternative to the
 
 ``run-scenario`` executes one declarative cell of the attack x defense
 grid through :func:`repro.scenarios.run_scenario` — either assembled from
-flags or loaded from a :class:`~repro.scenarios.ScenarioSpec` JSON file —
-and ``list-attacks`` / ``list-defenses`` print the registries with their
-parameter schemas.
+flags or loaded from a :class:`~repro.scenarios.ScenarioSpec` JSON file
+(a file holding a JSON *array* runs every spec in it) — and
+``list-attacks`` / ``list-defenses`` print the registries with their
+parameter schemas.  ``run-grid`` expands an attacks x defenses product into
+specs and runs them; with ``--workers N`` both commands shard the cells
+across a :class:`~repro.parallel.GridExecutor` process pool (reports merge
+in spec order, byte-identical to serial execution under float64).
 
 ``serve`` replays a synthetic clean/malware/adversarial request stream
-through the batched :class:`~repro.serving.service.ScoringService` and
+through the batched :class:`~repro.serving.service.ScoringService` —
+or, with ``--workers N``, through a
+:class:`~repro.parallel.WorkerFleet` of N replicated service processes
+behind one dispatch queue — and
 reports throughput and latency quantiles; ``score`` renders the structured
 verdict for one API log file (Table II text or JSON counts); ``cache-info``
 lists the artifact-cache entries with sizes and version compatibility.  The
@@ -112,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compute dtype for artifacts built by this "
                               "invocation (default: $REPRO_DTYPE or float64)")
 
+    def add_workers(sub: argparse.ArgumentParser, what: str) -> None:
+        sub.add_argument("--workers", type=int, default=1, metavar="N",
+                         help=f"shard {what} across N worker processes "
+                              f"(default: 1 = serial; 0 = one per CPU)")
+
     def add_serving_model(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--model", default="target",
                          help="registered model bundle to serve (default: target)")
@@ -125,9 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", choices=available_experiments(),
                             help="experiment id (table1..table6, figure1..figure5, live_greybox)")
     add_common(run_parser)
+    add_workers(run_parser, "the experiment's scenarios (figure3/figure4/table6)")
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     add_common(run_all_parser)
+    add_workers(run_all_parser, "each parallelisable experiment's scenarios")
 
     scenario_parser = subparsers.add_parser(
         "run-scenario", help="run one declarative attack-vs-defense scenario")
@@ -165,12 +184,34 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument("--json", action="store_true", dest="as_json",
                                  help="print the full ScenarioReport as JSON")
     add_common(scenario_parser)
+    add_workers(scenario_parser, "the specs (when --spec holds a JSON array)")
+
+    grid_parser = subparsers.add_parser(
+        "run-grid", help="run an attacks x defenses grid of scenarios, "
+                         "optionally across a process pool")
+    grid_parser.add_argument("--attacks", default="jsma", metavar="A1,A2,...",
+                             help="comma-separated attack ids, or a JSON array "
+                                  "of ids / {'id':..., 'params':...} objects")
+    grid_parser.add_argument("--defenses", default="none", metavar="D1,D2,...",
+                             help="comma-separated defense ids, or a JSON "
+                                  "array (see --attacks)")
+    grid_parser.add_argument("--model", choices=MODEL_KINDS, default="target",
+                             help="crafting surface for every cell")
+    grid_parser.add_argument("--theta", type=float, default=0.1,
+                             help="per-feature perturbation magnitude")
+    grid_parser.add_argument("--gamma", type=float, default=0.02,
+                             help="fraction of perturbable features")
+    grid_parser.add_argument("--json", action="store_true", dest="as_json",
+                             help="print the merged GridResult as JSON")
+    add_common(grid_parser)
+    add_workers(grid_parser, "the grid cells")
 
     serve_parser = subparsers.add_parser(
         "serve", help="replay a synthetic request stream through the scoring "
                       "service and report throughput/latency")
     add_common(serve_parser)
     add_serving_model(serve_parser)
+    add_workers(serve_parser, "the scoring service (replicated workers)")
     serve_parser.add_argument("--requests", type=int, default=256,
                               help="number of requests to replay (default: 256)")
     serve_parser.add_argument("--batch-size", type=int, default=32,
@@ -254,26 +295,9 @@ def _resolve_detector(args, servable, context, registry=None):
     return build_defense(args.defense, context, model=servable.model)
 
 
-def _cmd_serve(args) -> int:
-    from repro.serving import LoadGenerator, ModelRegistry, ScoringService, TrafficMix, replay
-
-    cache = _cache_from(args.cache_dir)
-    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
-                                cache=cache, dtype=args.dtype)
-    registry = ModelRegistry(cache=cache)
-    servable = registry.get(args.model, context=context)
-    detector = _resolve_detector(args, servable, context, registry=registry)
-    service = ScoringService(servable, detector=detector, threshold=args.threshold,
-                             max_batch_size=args.batch_size,
-                             max_delay_ms=args.max_delay_ms)
-    generator = LoadGenerator(context, mix=TrafficMix.parse(args.mix), seed=args.seed)
-    requests = generator.generate(args.requests)
-
-    start = time.perf_counter()
-    verdicts = replay(service, requests, rate_per_s=args.rate, seed=args.seed)
-    elapsed = time.perf_counter() - start
-    report = service.report(elapsed)
-
+def _serve_summary_lines(args, servable, verdicts, endpoint_line: str,
+                         scored_suffix: str = "") -> list:
+    """The traffic/verdict lines `serve` prints in both execution modes."""
     flagged = sum(verdict.is_malware for verdict in verdicts)
     by_kind = {}
     for verdict in verdicts:
@@ -283,17 +307,66 @@ def _cmd_serve(args) -> int:
     lines = [
         f"scoring service — model {servable.name} v{servable.version} "
         f"(scale {servable.scale.name}, seed {servable.seed}, dtype {servable.dtype})",
-        f"endpoint: defense={service.defense_name or 'none'} "
-        f"threshold={service.threshold} batch_size={service.max_batch_size} "
-        f"max_delay_ms={service.max_delay_ms}",
+        endpoint_line,
         f"traffic: {args.requests} requests, mix {args.mix}"
         + (f", rate {args.rate:g} req/s" if args.rate else ", unpaced"),
-        f"verdicts: {flagged} flagged malware / {len(verdicts)} scored "
-        f"in {service.n_batches} fused batches",
+        f"verdicts: {flagged} flagged malware / {len(verdicts)} scored"
+        + scored_suffix,
     ]
     for kind in sorted(by_kind):
         hits, total = by_kind[kind]
         lines.append(f"  {kind:<8} {hits}/{total} flagged malware")
+    return lines
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import LoadGenerator, ModelRegistry, ScoringService, TrafficMix, replay
+
+    cache = _cache_from(args.cache_dir)
+    context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
+                                cache=cache, dtype=args.dtype)
+    generator = LoadGenerator(context, mix=TrafficMix.parse(args.mix), seed=args.seed)
+
+    if args.workers != 1:
+        from repro.parallel import WorkerFleet
+
+        fleet = WorkerFleet(n_workers=args.workers, model=args.model,
+                            defense=args.defense, threshold=args.threshold,
+                            context=context, cache=cache,
+                            max_batch_size=args.batch_size,
+                            max_delay_ms=args.max_delay_ms)
+        requests = generator.generate(args.requests)
+        verdicts, fleet_report = fleet.score_stream(requests,
+                                                    rate_per_s=args.rate,
+                                                    seed=args.seed)
+        endpoint = (f"endpoint: defense={args.defense} "
+                    f"threshold={args.threshold} batch_size={args.batch_size} "
+                    f"max_delay_ms={args.max_delay_ms} "
+                    f"workers={fleet.n_workers}")
+        lines = _serve_summary_lines(args, fleet.servable, verdicts, endpoint)
+        lines.append(fleet_report.render())
+        _emit("serve", "\n".join(lines), args.out)
+        return 0
+
+    registry = ModelRegistry(cache=cache)
+    servable = registry.get(args.model, context=context)
+    detector = _resolve_detector(args, servable, context, registry=registry)
+    service = ScoringService(servable, detector=detector, threshold=args.threshold,
+                             max_batch_size=args.batch_size,
+                             max_delay_ms=args.max_delay_ms)
+    requests = generator.generate(args.requests)
+
+    start = time.perf_counter()
+    verdicts = replay(service, requests, rate_per_s=args.rate, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    report = service.report(elapsed)
+
+    endpoint = (f"endpoint: defense={service.defense_name or 'none'} "
+                f"threshold={service.threshold} batch_size={service.max_batch_size} "
+                f"max_delay_ms={service.max_delay_ms}")
+    lines = _serve_summary_lines(args, servable, verdicts, endpoint,
+                                 scored_suffix=f" in {service.n_batches} "
+                                               f"fused batches")
     lines.append(report.render())
     _emit("serve", "\n".join(lines), args.out)
     return 0
@@ -359,17 +432,51 @@ def _registry_listing(registry) -> str:
     return "\n".join(lines)
 
 
+def _fill_spec_defaults(spec: ScenarioSpec, args) -> ScenarioSpec:
+    """Spec files are authoritative; flags only fill fields left null."""
+    if spec.scale is None:
+        spec = spec.with_overrides(scale=args.scale)
+    if spec.dtype is None and args.dtype is not None:
+        spec = spec.with_overrides(dtype=args.dtype)
+    return spec
+
+
+def _run_specs_for_cli(specs, args):
+    """Run CLI-assembled specs through the grid executor and emit the result."""
+    from repro.parallel import GridExecutor
+
+    executor = GridExecutor(n_workers=args.workers or None,
+                            cache=_cache_from(args.cache_dir))
+    result = executor.run(specs)
+    if args.as_json:
+        rendered = result.to_json()
+    elif len(result.reports) == 1:
+        rendered = result.reports[0].render()
+    else:
+        rendered = "\n\n".join([report.render() for report in result.reports]
+                               + [result.render()])
+    return result, rendered
+
+
 def _cmd_run_scenario(args) -> int:
     from repro.scenarios import run_scenario
 
     if args.spec is not None:
-        spec = ScenarioSpec.from_json(args.spec.read_text(encoding="utf-8"))
-        # The file is authoritative; the scale/dtype flags only fill in
-        # fields the file leaves null (seed always comes from the spec).
-        if spec.scale is None:
-            spec = spec.with_overrides(scale=args.scale)
-        if spec.dtype is None and args.dtype is not None:
-            spec = spec.with_overrides(dtype=args.dtype)
+        from repro.exceptions import ConfigurationError
+
+        try:
+            payload = json.loads(args.spec.read_text(encoding="utf-8"))
+        except ValueError as error:
+            raise ConfigurationError(
+                f"invalid scenario spec JSON in {args.spec}: {error}") from error
+        if isinstance(payload, list):
+            # A spec-array file is a grid: shard it across --workers.
+            specs = [_fill_spec_defaults(ScenarioSpec.from_dict(entry), args)
+                     for entry in payload]
+            _, rendered = _run_specs_for_cli(specs, args)
+            _emit("scenario", rendered, args.out)
+            return 0
+        spec = _fill_spec_defaults(ScenarioSpec.from_dict(payload), args)
     else:
         sweep_values = None
         if args.sweep_values is not None:
@@ -397,6 +504,43 @@ def _cmd_run_scenario(args) -> int:
     return 0
 
 
+def _parse_grid_axis(text: str, what: str):
+    """``a,b,c`` or a JSON array of ids / {"id":..., "params":...} objects."""
+    text = text.strip()
+    if text.startswith("["):
+        from repro.exceptions import ConfigurationError
+
+        try:
+            return json.loads(text)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"invalid JSON for --{what}: {error}") from error
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_run_grid(args) -> int:
+    specs = ScenarioSpec.grid(
+        attacks=_parse_grid_axis(args.attacks, "attacks"),
+        defenses=_parse_grid_axis(args.defenses, "defenses"),
+        model=args.model, scale=args.scale, seed=args.seed, dtype=args.dtype,
+        theta=args.theta, gamma=args.gamma)
+    _, rendered = _run_specs_for_cli(specs, args)
+    _emit("grid", rendered, args.out)
+    return 0
+
+
+#: Experiments whose drivers accept ``workers=`` (scenario fan-out).
+PARALLEL_EXPERIMENTS = ("figure3", "figure4", "table6")
+
+
+def _runner_kwargs(experiment_id: str, workers: int) -> dict:
+    if workers != 1 and experiment_id in PARALLEL_EXPERIMENTS:
+        from repro.parallel import resolve_workers
+
+        return {"workers": resolve_workers(workers or None)}
+    return {}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -417,6 +561,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run-scenario":
         return _cmd_run_scenario(args)
+    if args.command == "run-grid":
+        return _cmd_run_grid(args)
 
     if args.command == "serve":
         return _cmd_serve(args)
@@ -429,14 +575,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
                                 cache=cache, dtype=args.dtype)
     if args.command == "run":
-        result = EXPERIMENTS[args.experiment].runner(context)
+        result = EXPERIMENTS[args.experiment].runner(
+            context, **_runner_kwargs(args.experiment, args.workers))
         _emit(args.experiment, result.render(), args.out)
         return 0
 
     if args.command == "run-all":
         for experiment_id in available_experiments():
             print(f"== {experiment_id}: {EXPERIMENTS[experiment_id].title}")
-            result = EXPERIMENTS[experiment_id].runner(context)
+            result = EXPERIMENTS[experiment_id].runner(
+                context, **_runner_kwargs(experiment_id, args.workers))
             _emit(experiment_id, result.render(), args.out)
         return 0
 

@@ -50,3 +50,12 @@ class DatasetError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the scoring service, model registry and load generator."""
+
+
+class ParallelError(ReproError):
+    """Raised by the process-pool execution engine (grid executor / fleet).
+
+    Wraps worker-side failures (the original traceback travels along as
+    text) and dispatcher-side protocol violations such as a worker exiting
+    without draining its queue.
+    """

@@ -24,7 +24,7 @@ from repro.evaluation.security_curve import (
 )
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
-from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios import ScenarioSpec
 
 
 @dataclass
@@ -97,11 +97,18 @@ def specs(context: ExperimentContext, n_gamma_points: Optional[int] = None,
 
 
 def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
-        n_theta_points: Optional[int] = None) -> Figure3Result:
-    """Run the white-box sweeps against the target model."""
-    reports = {panel: run_scenario(spec, context=context)
-               for panel, spec in specs(context, n_gamma_points,
-                                        n_theta_points).items()}
+        n_theta_points: Optional[int] = None,
+        workers: Optional[int] = None) -> Figure3Result:
+    """Run the white-box sweeps against the target model.
+
+    ``workers`` > 1 fans the three panel scenarios out over a process pool
+    (see :func:`repro.parallel.run_spec_reports`); the rendering is
+    byte-identical either way under float64.
+    """
+    from repro.parallel.grid import run_spec_reports  # lazy: avoids an import cycle
+
+    reports = run_spec_reports(specs(context, n_gamma_points, n_theta_points),
+                               context=context, workers=workers)
     return Figure3Result(
         gamma_curve=reports["gamma"].curve,
         theta_curve=reports["theta"].curve,

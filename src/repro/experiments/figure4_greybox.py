@@ -35,7 +35,7 @@ from repro.evaluation.security_curve import (
 )
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
-from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios import ScenarioSpec
 
 
 @dataclass
@@ -117,16 +117,22 @@ def specs(context: ExperimentContext, n_gamma_points: Optional[int] = None,
 
 
 def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
-        n_theta_points: Optional[int] = None) -> Figure4Result:
-    """Run the grey-box sweeps (count substitute and binary substitute)."""
+        n_theta_points: Optional[int] = None,
+        workers: Optional[int] = None) -> Figure4Result:
+    """Run the grey-box sweeps (count substitute and binary substitute).
+
+    ``workers`` > 1 fans the count-substitute scenarios out over a process
+    pool; panel (c)'s bespoke binary replay stays in-process either way.
+    """
+    from repro.parallel.grid import run_spec_reports  # lazy: avoids an import cycle
+
     target = context.target_model
     substitute = context.substitute_model
     malware = context.attack_malware
     gamma_grid = paper_gamma_grid(n_gamma_points or context.scale.sweep_points_gamma)
 
-    reports = {panel: run_scenario(spec, context=context)
-               for panel, spec in specs(context, n_gamma_points,
-                                        n_theta_points).items()}
+    reports = run_spec_reports(specs(context, n_gamma_points, n_theta_points),
+                               context=context, workers=workers)
     gamma_curve = reports["gamma"].curve
     theta_curve = reports["theta"].curve
     operating_report = reports["operating_point"]

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 from repro.evaluation.reports import render_defense_table
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
-from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios import ScenarioSpec
 
 
 @dataclass
@@ -139,13 +139,21 @@ def specs(context: ExperimentContext, include_ensemble: bool = False,
 
 def run(context: ExperimentContext, include_ensemble: bool = False,
         distillation_temperature: Optional[float] = None,
-        pca_components: Optional[int] = None) -> Table6Result:
-    """Fit every defense and evaluate the Table VI grid."""
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for row_name, spec in specs(context, include_ensemble,
-                                distillation_temperature,
-                                pca_components).items():
-        results[row_name] = run_scenario(spec, context=context).defense_eval
+        pca_components: Optional[int] = None,
+        workers: Optional[int] = None) -> Table6Result:
+    """Fit every defense and evaluate the Table VI grid.
+
+    ``workers`` > 1 fans the per-row scenarios (one defense fit each) out
+    over a process pool — the defense fits are the expensive, embarrassingly
+    parallel part of this table.
+    """
+    from repro.parallel.grid import run_spec_reports  # lazy: avoids an import cycle
+
+    spec_map = specs(context, include_ensemble, distillation_temperature,
+                     pca_components)
+    results = {row_name: report.defense_eval
+               for row_name, report in run_spec_reports(
+                   spec_map, context=context, workers=workers).items()}
 
     return Table6Result(scale_name=context.scale.name, results=results,
                         paper=paper_values.TABLE_VI, include_ensemble=include_ensemble)

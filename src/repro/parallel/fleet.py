@@ -1,0 +1,398 @@
+"""Multi-process replicated serving: N scoring workers behind one queue.
+
+:class:`WorkerFleet` replicates the single-process
+:class:`~repro.serving.service.ScoringService` across N worker processes.
+A shared task queue dispatches requests to whichever worker is free (dynamic
+load balancing); each worker runs its *own*
+:class:`~repro.serving.batcher.MicroBatcher`, so fused-batch scoring and the
+``max_delay_ms`` latency SLO hold per replica, and reports its
+:class:`~repro.serving.stats.LatencyTracker` observations back for one
+aggregated :class:`~repro.serving.stats.ThroughputReport`.
+
+The bundle every replica serves is built **once** in the dispatcher process
+(cold build or cache warm start) before the workers launch: under ``fork``
+the workers inherit the live servable/detector, under ``spawn`` they reload
+it from the shared artifact cache.  Because every replica serves the same
+versioned bundle, verdict *contents* (probability, label, model version) are
+identical to a single service's — only latency observations differ — and
+results are merged in submission order, so a fleet replay is deterministic
+apart from timing.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import asdict as dataclass_asdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config import ScaleProfile, get_profile
+from repro.exceptions import ParallelError
+from repro.experiments.context import ExperimentContext
+from repro.parallel.pool import (
+    RemoteFailure,
+    resolve_start_method,
+    resolve_workers,
+)
+from repro.serving.stats import LatencyTracker, ThroughputReport
+from repro.utils.artifact_cache import ArtifactCache
+
+__all__ = ["WorkerFleet", "FleetReport"]
+
+#: Live objects staged for ``fork`` workers: the parent-built servable and
+#: detector.  Populated only while worker processes are being launched.
+_FLEET_FORK_STATE: Dict[str, object] = {}
+
+
+def _build_service(config: Mapping[str, object]):
+    """Build one worker's ScoringService (inheriting fork state if present)."""
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.service import ScoringService
+
+    servable = _FLEET_FORK_STATE.get("servable")
+    detector = _FLEET_FORK_STATE.get("detector")
+    if servable is None:
+        cache = (ArtifactCache(config["cache_root"])
+                 if config.get("cache_root") else None)
+        context = ExperimentContext(
+            scale=ScaleProfile(**config["scale_fields"]),
+            seed=config["seed"], cache=cache, dtype=config["dtype"])
+        registry = ModelRegistry(cache=cache)
+        servable = registry.get(config["model"], context=context)
+        detector = _build_detector(config, context, servable)
+    return ScoringService(
+        servable, detector=detector, threshold=config["threshold"],
+        max_batch_size=config["max_batch_size"],
+        max_delay_ms=config["max_delay_ms"])
+
+
+def _build_detector(config: Mapping[str, object], context: ExperimentContext,
+                    servable):
+    from repro.scenarios.registry import DEFENSES, build_defense, ensure_registries
+
+    ensure_registries()
+    if DEFENSES.get(config["defense"]).entry_id == "none":
+        return None
+    return build_defense(config["defense"], context,
+                         config.get("defense_params") or {},
+                         model=servable.model)
+
+
+def _fleet_worker(worker_id: int, config: Dict[str, object],
+                  task_queue, result_queue) -> None:
+    """One replica: pull requests, micro-batch them, ship verdicts back.
+
+    Protocol on ``result_queue``: ``("ready", id, None)`` after startup,
+    ``("verdicts", id, [(seq, Verdict), ...])`` per flush, ``("stats", id,
+    {...})`` after the stop sentinel, ``("failed", id, RemoteFailure)`` on
+    any error.  Verdicts carry the dispatcher-assigned sequence numbers so
+    the merge is submission-ordered regardless of which replica scored what.
+    """
+    try:
+        service = _build_service(config)
+    except BaseException as error:  # noqa: BLE001 - shipped to the dispatcher
+        result_queue.put(("failed", worker_id,
+                          RemoteFailure.capture(f"worker {worker_id} startup",
+                                                error)))
+        return
+    result_queue.put(("ready", worker_id, None))
+    pending: deque = deque()
+
+    def emit(verdicts) -> None:
+        # MicroBatcher flushes preserve submission order, so the oldest
+        # pending sequence numbers pair with the flushed verdicts 1:1.
+        if verdicts:
+            result_queue.put(("verdicts", worker_id,
+                              [(pending.popleft(), verdict)
+                               for verdict in verdicts]))
+
+    try:
+        while True:
+            deadline = service.deadline
+            timeout = (None if deadline is None
+                       else max(0.0, deadline - time.perf_counter()))
+            try:
+                item = task_queue.get(timeout=timeout)
+            except queue_module.Empty:
+                emit(service.poll())
+                continue
+            if item is None:
+                break
+            seq, request, enqueued_at = item
+            pending.append(seq)
+            emit(service.submit(request, enqueued_at=enqueued_at))
+        emit(service.drain())
+        result_queue.put(("stats", worker_id, {
+            "n_requests": service.tracker.count,
+            "n_batches": service.n_batches,
+            "latencies_ms": service.tracker.latencies_ms,
+        }))
+    except BaseException as error:  # noqa: BLE001 - shipped to the dispatcher
+        result_queue.put(("failed", worker_id,
+                          RemoteFailure.capture(f"worker {worker_id}", error)))
+
+
+@dataclass
+class FleetReport:
+    """Aggregated statistics of one fleet replay."""
+
+    n_workers: int
+    start_method: str
+    throughput: ThroughputReport
+    per_worker: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "n_workers": self.n_workers,
+            "start_method": self.start_method,
+            "throughput": self.throughput.as_dict(),
+            "per_worker": [dict(worker) for worker in self.per_worker],
+        }
+
+    def render(self) -> str:
+        """Multi-line human-readable summary (what ``serve --workers`` prints)."""
+        lines = [f"fleet: {self.n_workers} workers ({self.start_method}) — "
+                 + self.throughput.render()]
+        for worker in self.per_worker:
+            lines.append(
+                f"  worker {worker['worker_id']}: {worker['n_requests']} requests "
+                f"in {worker['n_batches']} fused batches "
+                f"(mean {worker['mean_ms']:.3f}ms)")
+        return "\n".join(lines)
+
+
+class WorkerFleet:
+    """N replicated scoring workers behind a queue-based dispatcher.
+
+    Parameters
+    ----------
+    n_workers:
+        Replica count (``None``/``0`` = one per CPU).
+    model / defense / defense_params / threshold:
+        What each replica serves — a registered bundle name plus an optional
+        DefenseRegistry endpoint, exactly like the single-service ``serve``
+        path.
+    scale / seed / dtype / cache:
+        Context configuration for the bundle build (ignored when ``context``
+        is supplied).  Attach a cache so ``spawn`` workers can warm-start.
+    context:
+        Optional prebuilt :class:`~repro.experiments.context.ExperimentContext`
+        to build the bundle from (the CLI passes its own so the load
+        generator and the fleet share artifacts).
+    max_batch_size / max_delay_ms:
+        Per-replica micro-batching knobs.
+    timeout_s:
+        Dispatcher-side guard: how long to wait on worker results before
+        declaring the fleet wedged.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, model: str = "target",
+                 defense: str = "none",
+                 defense_params: Optional[Mapping[str, object]] = None,
+                 threshold: float = 0.5,
+                 scale: Optional[Union[str, ScaleProfile]] = None, seed: int = 0,
+                 dtype: Optional[str] = None,
+                 cache: Optional[Union[ArtifactCache, str, Path]] = None,
+                 context: Optional[ExperimentContext] = None,
+                 max_batch_size: int = 32, max_delay_ms: float = 2.0,
+                 start_method: Optional[str] = None,
+                 timeout_s: float = 300.0) -> None:
+        self.n_workers = resolve_workers(n_workers)
+        self.model = model
+        self.defense = defense
+        self.defense_params = dict(defense_params or {})
+        self.threshold = float(threshold)
+        if cache is not None and not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        self.cache = cache if context is None or context.cache is None \
+            else context.cache
+        self._scale = scale
+        self._seed = int(seed)
+        self._dtype = dtype
+        self._context = context
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_ms = float(max_delay_ms)
+        self.start_method = resolve_start_method(start_method)
+        self.timeout_s = float(timeout_s)
+        self.servable = None
+        self._processes: List = []
+        self._task_queue = None
+        self._result_queue = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _dispatch_context(self) -> ExperimentContext:
+        if self._context is None:
+            scale = (get_profile(self._scale) if isinstance(self._scale, str)
+                     else self._scale)
+            self._context = ExperimentContext(scale=scale, seed=self._seed,
+                                              cache=self.cache, dtype=self._dtype)
+        return self._context
+
+    def _config(self, context: ExperimentContext) -> Dict[str, object]:
+        return {
+            "scale_fields": dataclass_asdict(context.scale),
+            "seed": context.seed,
+            "dtype": str(context.dtype) if context.dtype is not None else None,
+            "cache_root": str(self.cache.root) if self.cache is not None else None,
+            "model": self.model,
+            "defense": self.defense,
+            "defense_params": self.defense_params,
+            "threshold": self.threshold,
+            "max_batch_size": self.max_batch_size,
+            "max_delay_ms": self.max_delay_ms,
+        }
+
+    def start(self) -> "WorkerFleet":
+        """Build the bundle once, then launch the worker replicas."""
+        if self._processes:
+            return self
+        import multiprocessing
+
+        from repro.serving.registry import ModelRegistry
+
+        mp_context = multiprocessing.get_context(self.start_method)
+        context = self._dispatch_context()
+        registry = ModelRegistry(cache=self.cache)
+        self.servable = registry.get(self.model, context=context)
+        config = self._config(context)
+        detector = _build_detector(config, context, self.servable)
+        self._task_queue = mp_context.Queue()
+        self._result_queue = mp_context.Queue()
+        try:
+            if self.start_method == "fork":
+                _FLEET_FORK_STATE["servable"] = self.servable
+                _FLEET_FORK_STATE["detector"] = detector
+            for worker_id in range(self.n_workers):
+                process = mp_context.Process(
+                    target=_fleet_worker,
+                    args=(worker_id, config, self._task_queue,
+                          self._result_queue),
+                    daemon=True)
+                process.start()
+                self._processes.append(process)
+            ready = 0
+            while ready < self.n_workers:
+                kind, worker_id, payload = self._get_result()
+                if kind == "failed":
+                    self.close()
+                    payload.raise_()
+                ready += kind == "ready"
+        finally:
+            _FLEET_FORK_STATE.clear()
+        return self
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        self._processes = []
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def _get_result(self) -> Tuple[str, int, object]:
+        try:
+            return self._result_queue.get(timeout=self.timeout_s)
+        except queue_module.Empty:
+            dead = [index for index, process in enumerate(self._processes)
+                    if not process.is_alive()]
+            # Tear the wedged fleet down before raising: leaving live workers
+            # behind would make the next start() reuse their stale queues.
+            self.close()
+            raise ParallelError(
+                f"fleet produced no results for {self.timeout_s:.0f}s "
+                f"(dead workers: {dead or 'none'})") from None
+
+    def score_stream(self, requests: Sequence,
+                     rate_per_s: Optional[float] = None,
+                     seed: int = 0) -> Tuple[List, FleetReport]:
+        """Replay ``requests`` through the fleet; one-shot per start.
+
+        Returns ``(verdicts, report)`` with verdicts merged in submission
+        order.  With ``rate_per_s`` the dispatcher paces enqueues like a
+        Poisson arrival process (same schedule as the single-service
+        :func:`~repro.serving.loadgen.replay`); otherwise requests are
+        enqueued back-to-back.  The stop sentinels end the worker processes,
+        so a subsequent call transparently starts a fresh fleet.
+        """
+        if not requests:
+            return [], FleetReport(n_workers=self.n_workers,
+                                   start_method=self.start_method,
+                                   throughput=LatencyTracker().report(0.0),
+                                   per_worker=[])
+        from repro.serving.service import ScoringRequest
+
+        # Wrap raw payloads here, at the dispatcher: per-replica id counters
+        # would otherwise hand the same ``req-...`` id out in every worker.
+        requests = [request if isinstance(request, ScoringRequest)
+                    else ScoringRequest(request_id=f"req-{seq + 1:06d}",
+                                        payload=request)
+                    for seq, request in enumerate(requests)]
+        self.start()
+        offsets = None
+        if rate_per_s is not None:
+            from repro.serving.loadgen import _poisson_offsets
+
+            offsets = _poisson_offsets(len(requests), rate_per_s, seed)
+        started = time.perf_counter()
+        for seq, request in enumerate(requests):
+            if offsets is not None:
+                remaining = (started + offsets[seq]) - time.perf_counter()
+                if remaining > 0:
+                    time.sleep(remaining)
+            self._task_queue.put((seq, request, time.perf_counter()))
+        for _ in self._processes:
+            self._task_queue.put(None)
+
+        verdicts: Dict[int, object] = {}
+        worker_stats: Dict[int, Dict[str, object]] = {}
+        n_expected = len(requests)
+        while len(verdicts) < n_expected or len(worker_stats) < len(self._processes):
+            kind, worker_id, payload = self._get_result()
+            if kind == "failed":
+                self.close()
+                payload.raise_()
+            elif kind == "verdicts":
+                for seq, verdict in payload:
+                    verdicts[seq] = verdict
+            elif kind == "stats":
+                worker_stats[worker_id] = payload
+        elapsed = time.perf_counter() - started
+        self.close()  # workers have already exited on the sentinel; reap them
+
+        tracker = LatencyTracker()
+        per_worker = []
+        for worker_id in sorted(worker_stats):
+            stats = worker_stats[worker_id]
+            latencies = stats["latencies_ms"]
+            tracker.extend(latencies)
+            per_worker.append({
+                "worker_id": worker_id,
+                "n_requests": stats["n_requests"],
+                "n_batches": stats["n_batches"],
+                "mean_ms": (float(sum(latencies) / len(latencies))
+                            if latencies else 0.0),
+            })
+        report = FleetReport(n_workers=self.n_workers,
+                             start_method=self.start_method,
+                             throughput=tracker.report(elapsed),
+                             per_worker=per_worker)
+        return [verdicts[seq] for seq in range(n_expected)], report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkerFleet(n_workers={self.n_workers}, model={self.model!r}, "
+                f"defense={self.defense!r}, start_method={self.start_method!r})")

@@ -97,8 +97,13 @@ class ScenarioReport:
             return None
         return 1.0 - self.detection["target"]
 
-    def summary(self) -> Dict[str, object]:
-        """Flat numeric summary (the fields experiment tables aggregate)."""
+    def summary(self, include_timing: bool = True) -> Dict[str, object]:
+        """Flat numeric summary (the fields experiment tables aggregate).
+
+        ``include_timing=False`` drops the wall-clock field — the *only*
+        non-deterministic one — leaving the canonical payload the parallel
+        grid compares byte-for-byte against serial execution.
+        """
         summary: Dict[str, object] = {
             "attack": self.attack_name,
             "defense": self.defense_name,
@@ -108,8 +113,9 @@ class ScenarioReport:
             "dtype": self.dtype,
             "theta": self.spec.theta,
             "gamma": self.spec.gamma,
-            "elapsed_s": self.elapsed_s,
         }
+        if include_timing:
+            summary["elapsed_s"] = self.elapsed_s
         if self.attack_result is not None:
             summary.update(self.attack_result.summary())
         for name, rate in self.detection.items():
@@ -135,11 +141,14 @@ class ScenarioReport:
             summary["final_confidence"] = self.live_trace.final_confidence
         return summary
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, include_timing: bool = True) -> Dict[str, object]:
         """JSON-able report (raw feature matrices are deliberately excluded).
 
         ``nan`` cells (e.g. the TPR of a clean-only dataset) become ``None``
         so the payload is strict RFC-8259 JSON, not Python's ``NaN`` dialect.
+        ``include_timing=False`` omits ``elapsed_s``, making the document a
+        deterministic function of (spec, scale, seed, dtype) under float64 —
+        the form serial-vs-parallel byte-parity is asserted on.
         """
         payload: Dict[str, object] = {
             "spec": self.spec.to_dict(),
@@ -149,10 +158,11 @@ class ScenarioReport:
             "attack": self.attack_name,
             "defense": self.defense_name,
             "detector": self.detector_name,
-            "elapsed_s": round(self.elapsed_s, 6),
             "detection": dict(self.detection),
             "baseline_detection": dict(self.baseline_detection),
         }
+        if include_timing:
+            payload["elapsed_s"] = round(self.elapsed_s, 6)
         if self.attack_result is not None:
             payload["attack_summary"] = self.attack_result.summary()
         if self.transfer_rate is not None:
@@ -178,11 +188,13 @@ class ScenarioReport:
             }
         return _without_nans(payload)
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
-        """The report as a JSON document."""
+    def to_json(self, indent: Optional[int] = 2,
+                include_timing: bool = True) -> str:
+        """The report as a JSON document (see :meth:`to_dict`)."""
         import json
 
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        return json.dumps(self.to_dict(include_timing=include_timing),
+                          indent=indent, sort_keys=True)
 
     def render(self) -> str:
         """Human-readable rendering (what ``repro run-scenario`` prints)."""

@@ -304,15 +304,20 @@ class ScoringService:
         return self._verdicts_for(requests, [started] * len(requests))
 
     def submit(self, source: Union[ScoringRequest, RequestPayload],
-               request_id: Optional[str] = None) -> List[Verdict]:
+               request_id: Optional[str] = None,
+               enqueued_at: Optional[float] = None) -> List[Verdict]:
         """Enqueue one request on the micro-batcher (the online path).
 
         Returns the verdicts of any flush this submission triggered; call
         :meth:`poll` between arrivals and :meth:`drain` at stream end to
-        collect the rest.
+        collect the rest.  ``enqueued_at`` (same time base as ``clock``)
+        backdates the latency measurement to when the request entered an
+        upstream queue — the :class:`~repro.parallel.fleet.WorkerFleet`
+        dispatcher uses it so fleet latencies include queueing delay.
         """
         request = self.make_request(source, request_id)
-        return self._batcher.submit((request, self._clock()))
+        started = enqueued_at if enqueued_at is not None else self._clock()
+        return self._batcher.submit((request, started))
 
     def poll(self) -> List[Verdict]:
         """Force a flush if the oldest pending request exceeded the delay SLO."""

@@ -1,17 +1,23 @@
 """Latency / throughput accounting for the scoring service.
 
 The serving layer reports the numbers an operator of an online detector
-actually watches: request latency quantiles (p50/p95), mean latency, and
-sustained throughput.  :class:`LatencyTracker` accumulates per-request
-latencies as they are observed; :class:`ThroughputReport` is the immutable
+actually watches: request latency quantiles (p50/p95/p99), mean and max
+latency, and sustained throughput.  :class:`LatencyTracker` accumulates
+per-request latencies as they are observed — one tracker per service, or one
+aggregating a whole :class:`~repro.parallel.fleet.WorkerFleet` via
+:meth:`LatencyTracker.extend`; :class:`ThroughputReport` is the immutable
 summary the service, the ``serve`` CLI command and the benchmark harness all
 render from.
+
+An interval that scored nothing is still a well-defined interval: reporting
+on an empty tracker returns an all-zero report rather than raising, so
+periodic reporters and fleet aggregation never trip over an idle worker.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -37,6 +43,7 @@ class ThroughputReport:
     mean_ms: float
     p50_ms: float
     p95_ms: float
+    p99_ms: float
     max_ms: float
 
     def as_dict(self) -> Dict[str, float]:
@@ -49,7 +56,15 @@ class ThroughputReport:
         return (f"{self.n_requests} requests in {self.elapsed_s:.3f}s "
                 f"({self.requests_per_s:,.0f} req/s) — latency "
                 f"mean {self.mean_ms:.3f}ms / p50 {self.p50_ms:.3f}ms / "
-                f"p95 {self.p95_ms:.3f}ms / max {self.max_ms:.3f}ms")
+                f"p95 {self.p95_ms:.3f}ms / p99 {self.p99_ms:.3f}ms / "
+                f"max {self.max_ms:.3f}ms")
+
+    @classmethod
+    def empty(cls, elapsed_s: float = 0.0) -> "ThroughputReport":
+        """The well-defined report of an interval that scored nothing."""
+        return cls(n_requests=0, elapsed_s=float(max(elapsed_s, 0.0)),
+                   requests_per_s=0.0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0,
+                   p99_ms=0.0, max_ms=0.0)
 
 
 class LatencyTracker:
@@ -66,8 +81,14 @@ class LatencyTracker:
 
     def record_batch(self, latency_ms: float, n_requests: int) -> None:
         """Record the same latency for every request of one fused batch."""
-        for _ in range(n_requests):
-            self._latencies_ms.append(float(latency_ms))
+        if latency_ms < 0:
+            raise ServingError(f"latency must be non-negative, got {latency_ms}")
+        self._latencies_ms.extend([float(latency_ms)] * int(n_requests))
+
+    def extend(self, latencies_ms: Iterable[float]) -> None:
+        """Fold another tracker's observations in (fleet aggregation)."""
+        for latency_ms in latencies_ms:
+            self.record(latency_ms)
 
     @property
     def count(self) -> int:
@@ -84,9 +105,15 @@ class LatencyTracker:
         self._latencies_ms.clear()
 
     def report(self, elapsed_s: float) -> ThroughputReport:
-        """Summarise the recorded latencies over a measured wall interval."""
+        """Summarise the recorded latencies over a measured wall interval.
+
+        An empty tracker yields :meth:`ThroughputReport.empty` — a zeroed
+        report — so callers that report periodically (or aggregate idle
+        fleet workers) need no special case.  A *non-empty* tracker still
+        requires a positive interval.
+        """
         if not self._latencies_ms:
-            raise ServingError("no latencies recorded; nothing to report")
+            return ThroughputReport.empty(elapsed_s)
         if elapsed_s <= 0:
             raise ServingError(f"elapsed_s must be positive, got {elapsed_s}")
         values = np.asarray(self._latencies_ms, dtype=np.float64)
@@ -97,5 +124,6 @@ class LatencyTracker:
             mean_ms=float(values.mean()),
             p50_ms=percentile(values, 50.0),
             p95_ms=percentile(values, 95.0),
+            p99_ms=percentile(values, 99.0),
             max_ms=float(values.max()),
         )

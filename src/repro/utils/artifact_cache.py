@@ -23,9 +23,17 @@ include:
 * the full scale-profile field dict, the master seed and the compute dtype
   (models trained under ``float32`` and ``float64`` are distinct artifacts).
 
-A directory only counts as cached once its ``COMPLETE`` marker file exists —
-it is written last, so a crash mid-save leaves a partial directory that is
-simply rebuilt (and overwritten) on the next run.  Every complete entry also
+A directory only counts as cached once its ``COMPLETE`` marker file exists,
+and entries are published *atomically*: builds write into a hidden
+``.tmp-<key>-...`` sibling directory (meta and marker included) that is
+renamed over the final path in one ``os.replace`` — a crash mid-save leaves
+only a temp directory that the next builder sweeps away, never a
+half-written entry, and a concurrent reader sees either the old complete
+entry or the new one, nothing in between.  Builds additionally serialise on
+a per-entry ``<key>.lock`` file, so N parallel workers warm-starting from
+one cache directory cannot corrupt or double-build an entry: the first
+builder builds while the rest wait, then load the published result.  Every
+complete entry also
 carries a ``cache-meta.json`` stamping the ``repro`` package version that
 wrote it: entries written under a *different* package version (or lacking
 the stamp entirely, i.e. written before versions were stamped) are refused
@@ -43,9 +51,16 @@ import json
 import os
 import shutil
 import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, List, Optional, TypeVar
+
+try:  # POSIX advisory locks; the portable spin-lock below covers the rest.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.exceptions import SerializationError
 from repro.version import __version__
@@ -53,6 +68,10 @@ from repro.version import __version__
 _ENV_CACHE_VAR = "REPRO_CACHE_DIR"
 _MARKER = "COMPLETE"
 _ENTRY_META = "cache-meta.json"
+_LOCK_SUFFIX = ".lock"
+_TMP_PREFIX = ".tmp-"
+#: How often a waiter re-polls a held per-entry lock (seconds).
+_LOCK_POLL_S = 0.05
 
 #: Bump when the on-disk format or artifact semantics change.
 CACHE_SCHEMA_VERSION = 1
@@ -121,10 +140,16 @@ class ArtifactCache:
     root:
         Cache directory (created lazily).  Defaults to
         :func:`default_cache_root`.
+    lock_timeout_s:
+        How long a builder waits for another process/thread building the
+        same entry before giving up with :class:`SerializationError`.  The
+        default comfortably covers a full model-training build.
     """
 
-    def __init__(self, root: Optional[str | Path] = None) -> None:
+    def __init__(self, root: Optional[str | Path] = None,
+                 lock_timeout_s: float = 600.0) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
+        self.lock_timeout_s = float(lock_timeout_s)
 
     # ------------------------------------------------------------------ #
     # Keys and paths
@@ -165,6 +190,70 @@ class ArtifactCache:
         return meta is not None and meta.get("package_version") == __version__
 
     # ------------------------------------------------------------------ #
+    # Per-entry locking
+    # ------------------------------------------------------------------ #
+    def _lock_path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}{_LOCK_SUFFIX}"
+
+    @contextmanager
+    def _entry_lock(self, kind: str, key: str):
+        """Hold the per-entry build lock (exclusive across processes/threads).
+
+        Uses a blocking-with-timeout ``flock`` poll where available (the
+        lock dies with its holder, so crashes never wedge the cache) and an
+        ``O_EXCL`` spin lock elsewhere.  The lock file itself is never
+        deleted while contended — waiters hold fds to its inode.
+        """
+        lock_path = self._lock_path(kind, key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.lock_timeout_s
+        if fcntl is not None:
+            fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            raise SerializationError(
+                                f"timed out after {self.lock_timeout_s:.0f}s "
+                                f"waiting for the build lock on {kind}/{key} "
+                                f"(held by another worker?)") from None
+                        time.sleep(_LOCK_POLL_S)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        else:  # pragma: no cover - exercised only on platforms without fcntl
+            while True:
+                try:
+                    fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_RDWR)
+                    break
+                except FileExistsError:
+                    if time.monotonic() >= deadline:
+                        raise SerializationError(
+                            f"timed out after {self.lock_timeout_s:.0f}s "
+                            f"waiting for the build lock on {kind}/{key}; "
+                            f"remove {lock_path} if its holder crashed") from None
+                    time.sleep(_LOCK_POLL_S)
+            try:
+                yield
+            finally:
+                os.close(fd)
+                lock_path.unlink(missing_ok=True)
+
+    def _sweep_stale_tmp(self, kind: str, key: str) -> None:
+        """Remove leftover temp directories of crashed builds (lock held)."""
+        kind_dir = self.root / kind
+        if not kind_dir.exists():
+            return
+        for stale in kind_dir.glob(f"{_TMP_PREFIX}{key}-*"):
+            shutil.rmtree(stale, ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
     # Store / retrieve
     # ------------------------------------------------------------------ #
     def load_or_build(self, kind: str, key: str,
@@ -173,9 +262,13 @@ class ArtifactCache:
                       load: Callable[[Path], T]) -> T:
         """Return the cached artifact, building and persisting it on a miss.
 
-        ``save(artifact, path)`` writes into the artifact directory; the
-        ``COMPLETE`` marker is written only after it returns, so interrupted
-        saves are treated as misses.  A corrupt entry (marker present but
+        Builds are safe under concurrency: writers serialise on a per-entry
+        lock file (so the artifact is built exactly once even when N
+        workers miss simultaneously — late arrivals load what the winner
+        published), ``save(artifact, path)`` writes into a hidden temp
+        directory, and the entry — meta and ``COMPLETE`` marker included —
+        is published with one atomic rename.  Interrupted saves therefore
+        leave no partial entry behind.  A corrupt entry (marker present but
         ``load`` failing) is evicted and rebuilt rather than propagated, as
         is an entry stamped with a different package version.
         """
@@ -185,18 +278,34 @@ class ArtifactCache:
                 return load(path)
             except (SerializationError, OSError, KeyError, ValueError):
                 self.invalidate(kind, key)
-        artifact = build()
-        if path.exists():
-            shutil.rmtree(path)
-        path.mkdir(parents=True, exist_ok=True)
-        save(artifact, path)
-        (path / _ENTRY_META).write_text(
-            json.dumps({"package_version": __version__,
-                        "schema": CACHE_SCHEMA_VERSION,
-                        "kind": kind, "key": key,
-                        "created_at": time.time()}, indent=2, sort_keys=True),
-            encoding="utf-8")
-        (path / _MARKER).touch()
+        with self._entry_lock(kind, key):
+            # Another worker may have published while we waited on the lock.
+            if self.has(kind, key):
+                try:
+                    return load(path)
+                except (SerializationError, OSError, KeyError, ValueError):
+                    self.invalidate(kind, key)
+            self._sweep_stale_tmp(kind, key)
+            artifact = build()
+            tmp_path = path.parent / (f"{_TMP_PREFIX}{key}-{os.getpid()}-"
+                                      f"{uuid.uuid4().hex[:8]}")
+            try:
+                tmp_path.mkdir(parents=True)
+                save(artifact, tmp_path)
+                (tmp_path / _ENTRY_META).write_text(
+                    json.dumps({"package_version": __version__,
+                                "schema": CACHE_SCHEMA_VERSION,
+                                "kind": kind, "key": key,
+                                "created_at": time.time()},
+                               indent=2, sort_keys=True),
+                    encoding="utf-8")
+                (tmp_path / _MARKER).touch()
+                if path.exists():
+                    shutil.rmtree(path)
+                os.replace(tmp_path, path)
+            except BaseException:
+                shutil.rmtree(tmp_path, ignore_errors=True)
+                raise
         return artifact
 
     # ------------------------------------------------------------------ #
@@ -211,7 +320,9 @@ class ArtifactCache:
             if not kind_dir.is_dir():
                 continue
             for entry_dir in sorted(kind_dir.iterdir()):
-                if not entry_dir.is_dir():
+                # Lock files are plain files; in-flight builds live in hidden
+                # ``.tmp-*`` directories.  Neither is an entry.
+                if not entry_dir.is_dir() or entry_dir.name.startswith("."):
                     continue
                 meta = self._entry_metadata(entry_dir) or {}
                 size_bytes, n_files = _dir_stats(entry_dir)
@@ -253,7 +364,14 @@ class ArtifactCache:
             for entry in kind_dir.iterdir():
                 if entry.is_dir():
                     shutil.rmtree(entry)
-                    removed += 1
+                    # Hidden ``.tmp-*`` build leftovers are swept but are
+                    # not cache entries.
+                    removed += not entry.name.startswith(".")
+                # Per-entry ``.lock`` files are deliberately left in place:
+                # unlinking one a concurrent builder holds via flock would
+                # let a second builder lock a fresh inode at the same path,
+                # breaking the build-exactly-once guarantee.  They are a few
+                # bytes each and invisible to entries().
             if not any(kind_dir.iterdir()):
                 kind_dir.rmdir()
         return removed

@@ -1,0 +1,36 @@
+"""Parallel-path parity for the experiment drivers.
+
+figure3 / figure4 / table6 gained a ``workers=`` fan-out through the
+:class:`~repro.parallel.GridExecutor`.  The contract is that the worker
+count is invisible in the output: a pooled run renders byte-for-byte the
+same tables and curves as the serial driver (which the scenario-parity
+suite in turn pins against the seed drivers).
+"""
+
+import pytest
+
+from repro.experiments import figure3_whitebox, figure4_greybox, table6_defense
+
+
+@pytest.mark.parametrize("driver", [figure3_whitebox, figure4_greybox,
+                                    table6_defense],
+                         ids=["figure3", "figure4", "table6"])
+def test_driver_rendering_is_worker_count_invariant(driver, tiny_context):
+    serial = driver.run(tiny_context)
+    pooled = driver.run(tiny_context, workers=2)
+    assert pooled.render() == serial.render()
+
+
+def test_run_experiment_forwards_workers(tiny_context):
+    from repro.experiments import run_experiment
+
+    serial = run_experiment("table6", tiny_context)
+    pooled = run_experiment("table6", tiny_context, workers=2)
+    assert pooled.render() == serial.render()
+
+
+def test_workers_one_is_plain_serial(tiny_context):
+    # workers=1 must not touch multiprocessing at all (it is the default
+    # the CLI and the benchmarks baseline against).
+    result = table6_defense.run(tiny_context, workers=1)
+    assert "Table VI" in result.render()

@@ -1,10 +1,14 @@
 """Tests for the persistent experiment-artifact cache."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.config import TINY_PROFILE
 from repro.data.dataset import Dataset
+from repro.exceptions import SerializationError
 from repro.experiments.context import ExperimentContext
 from repro.utils.artifact_cache import ArtifactCache, default_cache_root
 
@@ -166,6 +170,154 @@ class TestLoadOrBuild:
         assert not cache.invalidate("dataset", key0)
         assert cache.clear() == 1
         assert cache.clear() == 0
+
+
+class TestConcurrentWriters:
+    """Threads as a proxy for parallel worker processes: the per-entry lock
+    file and the atomic temp-dir-then-rename publication must hold for both
+    (``flock`` serialises distinct fds within one process exactly as it does
+    across processes)."""
+
+    def _dataset(self) -> Dataset:
+        return Dataset(features=np.linspace(0, 1, 12).reshape(4, 3),
+                       labels=np.array([0, 1, 0, 1]), name="toy")
+
+    def test_concurrent_load_or_build_builds_exactly_once(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=0)
+        build_calls = []
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def build() -> Dataset:
+            build_calls.append(threading.get_ident())
+            time.sleep(0.05)  # widen the window a losing racer would hit
+            return self._dataset()
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = cache.load_or_build(
+                "dataset", key, build,
+                lambda ds, path: ds.save(path / "data"),
+                lambda path: Dataset.load(path / "data"))
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(build_calls) == 1            # no double-build
+        assert len(results) == 4
+        for dataset in results.values():
+            np.testing.assert_array_equal(dataset.features,
+                                          self._dataset().features)
+        assert cache.has("dataset", key)
+        assert len(cache.entries()) == 1        # no stray tmp/partial entries
+
+    def test_failed_save_leaves_no_entry_and_releases_lock(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=1)
+
+        def bad_save(ds, path):
+            (path / "partial").write_text("...", encoding="utf-8")
+            raise SerializationError("disk full")
+
+        with pytest.raises(SerializationError):
+            cache.load_or_build("dataset", key, self._dataset, bad_save,
+                                lambda path: Dataset.load(path / "data"))
+        assert not cache.has("dataset", key)
+        assert not cache.path_for("dataset", key).exists()   # atomic: no debris
+        # The lock was released: the next builder proceeds immediately.
+        result = cache.load_or_build(
+            "dataset", key, self._dataset,
+            lambda ds, path: ds.save(path / "data"),
+            lambda path: Dataset.load(path / "data"))
+        assert result.n_samples == 4
+        assert cache.has("dataset", key)
+
+    def test_stale_tmp_dirs_are_swept_and_ignored(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=2)
+        stale = cache.root / "dataset" / f".tmp-{key}-999-deadbeef"
+        stale.mkdir(parents=True)
+        (stale / "junk").write_text("crashed build", encoding="utf-8")
+        assert cache.entries() == []            # tmp dirs are not entries
+        cache.load_or_build("dataset", key, self._dataset,
+                            lambda ds, path: ds.save(path / "data"),
+                            lambda path: Dataset.load(path / "data"))
+        assert not stale.exists()               # swept under the lock
+        assert [entry.key for entry in cache.entries()] == [key]
+
+    def test_lock_files_are_invisible_to_entries_and_survive_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=3)
+        cache.load_or_build("dataset", key, self._dataset,
+                            lambda ds, path: ds.save(path / "data"),
+                            lambda path: Dataset.load(path / "data"))
+        lock_files = list((cache.root / "dataset").glob("*.lock"))
+        assert lock_files                        # the build left its lock file
+        assert [entry.key for entry in cache.entries()] == [key]
+        assert cache.clear() == 1                # locks don't count as entries
+        assert cache.entries() == []
+        # Lock files are deliberately NOT unlinked: a concurrent flock holder
+        # must keep its inode, or two builders could hold "the" lock at once.
+        assert list((cache.root / "dataset").glob("*.lock")) == lock_files
+        # And a post-clear build still works through the surviving lock file.
+        cache.load_or_build("dataset", key, self._dataset,
+                            lambda ds, path: ds.save(path / "data"),
+                            lambda path: Dataset.load(path / "data"))
+        assert cache.has("dataset", key)
+
+    def test_lock_timeout_raises_instead_of_hanging(self, tmp_path):
+        cache = ArtifactCache(tmp_path, lock_timeout_s=0.2)
+        key = cache.key_for("dataset", seed=4)
+        entered = threading.Event()
+
+        def slow_build() -> Dataset:
+            entered.set()
+            time.sleep(1.0)
+            return self._dataset()
+
+        holder = threading.Thread(target=lambda: cache.load_or_build(
+            "dataset", key, slow_build,
+            lambda ds, path: ds.save(path / "data"),
+            lambda path: Dataset.load(path / "data")))
+        holder.start()
+        try:
+            assert entered.wait(timeout=5)
+            with pytest.raises(SerializationError, match="timed out"):
+                cache.load_or_build(
+                    "dataset", key, self._dataset,
+                    lambda ds, path: ds.save(path / "data"),
+                    lambda path: Dataset.load(path / "data"))
+        finally:
+            holder.join(timeout=30)
+
+    def test_concurrent_contexts_share_one_corpus_build(self, tmp_path):
+        # The integration-shaped version of the satellite: two contexts
+        # warm-starting from one cache dir race on the corpus entry.
+        cache_root = tmp_path / "cache"
+        corpora = {}
+        barrier = threading.Barrier(2)
+
+        def worker(index: int) -> None:
+            context = ExperimentContext(scale=TINY_PROFILE, seed=55,
+                                        cache=ArtifactCache(cache_root))
+            barrier.wait()
+            corpora[index] = context.corpus
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(corpora) == 2
+        np.testing.assert_array_equal(corpora[0].train.features,
+                                      corpora[1].train.features)
+        cache = ArtifactCache(cache_root)
+        assert sum(entry.kind == "corpus" for entry in cache.entries()) == 1
 
 
 class TestContextIntegration:

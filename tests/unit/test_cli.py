@@ -167,6 +167,84 @@ class TestScenarioCommands:
             main(["run-scenario", "--scale", "tiny",
                   "--attack-params", '{"warp": 9}'])
 
+    def test_run_scenario_spec_array_runs_every_spec(self, capsys, tmp_path):
+        from repro.scenarios import ScenarioSpec
+
+        spec_file = tmp_path / "specs.json"
+        specs = [ScenarioSpec(attack="random_addition", scale="tiny", seed=3,
+                              theta=0.1, gamma=0.02).to_dict(),
+                 ScenarioSpec(attack="random_addition", scale="tiny", seed=3,
+                              theta=0.1, gamma=0.03).to_dict()]
+        spec_file.write_text(json.dumps(specs), encoding="utf-8")
+        assert main(["run-scenario", "--spec", str(spec_file),
+                     "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "2 cells" in output
+        assert "gamma=0.03" in output
+
+    def test_run_scenario_spec_array_json_output(self, capsys, tmp_path):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(
+            [{"attack": "random_addition", "scale": "tiny", "seed": 3}]),
+            encoding="utf-8")
+        assert main(["run-scenario", "--spec", str(spec_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_cells"] == 1
+        assert payload["reports"][0]["attack"] == "random_addition"
+
+    def test_run_scenario_rejects_malformed_spec_file(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        spec_file = tmp_path / "broken.json"
+        spec_file.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="invalid scenario spec"):
+            main(["run-scenario", "--spec", str(spec_file)])
+
+
+class TestRunGridCommand:
+    def test_run_grid_parses_defaults(self):
+        args = build_parser().parse_args(["run-grid"])
+        assert args.attacks == "jsma"
+        assert args.defenses == "none"
+        assert args.workers == 1
+
+    def test_run_grid_serial_prints_cells(self, capsys):
+        # A single-cell grid renders the one report directly.
+        assert main(["run-grid", "--attacks", "random_addition",
+                     "--defenses", "none", "--scale", "tiny", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "attack=random_addition" in output
+        assert "detection[target]" in output
+
+    def test_run_grid_multi_cell_renders_summary_table(self, capsys):
+        assert main(["run-grid", "--attacks", "random_addition",
+                     "--defenses", "none,feature_squeezing",
+                     "--model", "substitute",
+                     "--scale", "tiny", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "random_addition vs none" in output
+        assert "random_addition vs feature_squeezing" in output
+        assert "2 cells" in output
+
+    def test_run_grid_parallel_json(self, capsys):
+        assert main(["run-grid",
+                     "--attacks", '[{"id": "random_addition"}]',
+                     "--defenses", "none,feature_squeezing",
+                     "--model", "substitute",
+                     "--scale", "tiny", "--seed", "3",
+                     "--workers", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_cells"] == 2
+        assert payload["n_workers"] == 2
+        defenses = [report["defense"] for report in payload["reports"]]
+        assert defenses == ["none", "feature_squeezing"]
+
+    def test_run_grid_rejects_bad_json_axis(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            main(["run-grid", "--attacks", "[not json", "--scale", "tiny"])
+
 
 class TestMain:
     def test_list_prints_every_experiment(self, capsys):
@@ -251,3 +329,34 @@ class TestServingCommands:
     def test_cache_info_on_empty_cache(self, capsys, tmp_path):
         assert main(["cache-info", "--cache-dir", str(tmp_path / "empty")]) == 0
         assert "(no cached artifacts)" in capsys.readouterr().out
+
+    def test_serve_with_worker_fleet(self, capsys, tmp_path):
+        code = main(["serve", "--scale", "tiny", "--seed", "4",
+                     "--workers", "2", "--requests", "16", "--batch-size", "8",
+                     "--mix", "0.6,0.4,0", "--out", str(tmp_path / "out")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scoring service — model target" in output
+        assert "workers=2" in output
+        assert "fleet: 2 workers" in output
+        assert "worker 0:" in output and "worker 1:" in output
+        assert "p99" in output
+        assert (tmp_path / "out" / "serve.txt").exists()
+
+    def test_serve_fleet_verdicts_match_single_service(self, capsys):
+        argv = ["serve", "--scale", "tiny", "--seed", "4",
+                "--requests", "16", "--mix", "0.5,0.5,0"]
+        assert main(argv) == 0
+        single = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        fleet = capsys.readouterr().out
+
+        def verdict_lines(text):
+            # The per-kind breakdown lines (indented); the totals line also
+            # carries a mode-specific "fused batches" suffix, so compare the
+            # kind counts, which must match exactly.
+            return [line for line in text.splitlines()
+                    if line.startswith("  ") and "flagged malware" in line]
+
+        assert verdict_lines(single) == verdict_lines(fleet)
+        assert verdict_lines(single)

@@ -46,8 +46,10 @@ class TestStats:
         assert report.requests_per_s == pytest.approx(2.0)
         assert report.mean_ms == pytest.approx(2.5)
         assert report.p50_ms == pytest.approx(2.5)
+        assert report.p99_ms == pytest.approx(3.97)
         assert report.max_ms == pytest.approx(4.0)
         assert "4 requests" in report.render()
+        assert "p99" in report.render()
 
     def test_tracker_record_batch_and_reset(self):
         tracker = LatencyTracker()
@@ -55,12 +57,39 @@ class TestStats:
         assert tracker.count == 3
         tracker.reset()
         assert tracker.count == 0
+
+    def test_empty_tracker_reports_zeroed_interval(self):
+        # Reporting on an idle interval is well-defined, not an error: the
+        # fleet aggregator and periodic reporters rely on this.
+        report = LatencyTracker().report(1.0)
+        assert report.n_requests == 0
+        assert report.requests_per_s == 0.0
+        assert report.mean_ms == report.p50_ms == report.p95_ms == 0.0
+        assert report.p99_ms == report.max_ms == 0.0
+        assert LatencyTracker().report(0.0).elapsed_s == 0.0
+        assert "0 requests" in report.render()
+
+    def test_nonempty_tracker_still_requires_positive_interval(self):
+        tracker = LatencyTracker()
+        tracker.record(1.0)
         with pytest.raises(ServingError):
-            tracker.report(1.0)
+            tracker.report(0.0)
+
+    def test_tracker_extend_merges_observations(self):
+        left, right = LatencyTracker(), LatencyTracker()
+        left.record(1.0)
+        right.record_batch(3.0, n_requests=2)
+        left.extend(right.latencies_ms)
+        assert left.count == 3
+        assert left.report(1.0).mean_ms == pytest.approx(7.0 / 3.0)
+        with pytest.raises(ServingError):
+            left.extend([-0.5])
 
     def test_negative_latency_rejected(self):
         with pytest.raises(ServingError):
             LatencyTracker().record(-1.0)
+        with pytest.raises(ServingError):
+            LatencyTracker().record_batch(-1.0, n_requests=2)
 
 
 class TestMicroBatcher:
