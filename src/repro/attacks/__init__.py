@@ -9,6 +9,8 @@
   cross-attack ablation of adversarial training);
 * :mod:`random_noise` — the random-API-addition baseline the paper uses to
   show JSMA perturbations are not just noise;
+* :mod:`trajectory` — sparse perturbation logs of instrumented greedy runs,
+  the substrate the γ-sweep replay engine slices per operating point;
 * :mod:`transfer` — the grey-box transfer harness (craft on the substitute,
   replay on the target);
 * :mod:`blackbox` — the Figure 2 black-box framework: oracle-labelled
@@ -24,12 +26,15 @@ from repro.attacks.fgsm import FgsmAttack
 from repro.attacks.jsma import JsmaAttack
 from repro.attacks.live_greybox import LiveGreyBoxAttack, LiveGreyBoxTrace
 from repro.attacks.random_noise import RandomAdditionAttack
+from repro.attacks.trajectory import JsmaTrajectory, TrajectoryRecorder
 from repro.attacks.transfer import TransferAttack, TransferResult
 
 __all__ = [
     "Attack",
     "AttackResult",
     "PerturbationConstraints",
+    "JsmaTrajectory",
+    "TrajectoryRecorder",
     "JsmaAttack",
     "FgsmAttack",
     "RandomAdditionAttack",

@@ -122,23 +122,64 @@ class Attack:
 
     name = "attack"
 
+    #: Whether :meth:`run` accepts a
+    #: :class:`~repro.attacks.trajectory.TrajectoryRecorder` and produces a
+    #: budget-sliceable perturbation log (the γ-sweep replay contract).
+    supports_trajectory = False
+
     def __init__(self, network: NeuralNetwork,
                  constraints: Optional[PerturbationConstraints] = None) -> None:
         self.network = network
         self.constraints = constraints if constraints is not None else PerturbationConstraints()
+        self._primed_original: Optional[np.ndarray] = None
+        self._primed_original_predictions: Optional[np.ndarray] = None
 
     def run(self, features: np.ndarray) -> AttackResult:
         """Craft adversarial examples for ``features`` (malware rows)."""
         raise NotImplementedError
 
+    def prime_original_predictions(self, original: np.ndarray,
+                                   predictions: np.ndarray) -> None:
+        """Provide precomputed crafting-model predictions for ``original``.
+
+        Sweep harnesses and the scenario engine attack the *same* malware
+        matrix many times; predicting it once and priming every attack stops
+        :meth:`_package` from re-running an identical forward pass per run.
+        The cache is matched by object identity, so a run over a different
+        matrix silently falls back to a fresh predict.
+        """
+        original = np.asarray(original)
+        predictions = np.asarray(predictions)
+        if predictions.shape[0] != original.shape[0]:
+            raise AttackError(
+                f"got {predictions.shape[0]} primed predictions for "
+                f"{original.shape[0]} samples")
+        self._primed_original = original
+        self._primed_original_predictions = predictions
+
+    def _original_predictions_for(self, original: np.ndarray) -> np.ndarray:
+        """Primed predictions when they match ``original``, else a predict."""
+        if (self._primed_original_predictions is not None
+                and original is self._primed_original):
+            return self._primed_original_predictions
+        return self.network.predict(original)
+
     def _package(self, original: np.ndarray, adversarial: np.ndarray,
-                 iterations: Optional[np.ndarray] = None) -> AttackResult:
-        """Build an :class:`AttackResult`, computing predictions and deltas."""
+                 iterations: Optional[np.ndarray] = None,
+                 original_predictions: Optional[np.ndarray] = None) -> AttackResult:
+        """Build an :class:`AttackResult`, computing predictions and deltas.
+
+        ``original_predictions`` (or a matrix previously registered through
+        :meth:`prime_original_predictions`) skips the redundant forward pass
+        over the unmodified inputs.
+        """
         changed = np.abs(adversarial - original) > 1e-12
+        if original_predictions is None:
+            original_predictions = self._original_predictions_for(original)
         return AttackResult(
             original=original,
             adversarial=adversarial,
-            original_predictions=self.network.predict(original),
+            original_predictions=original_predictions,
             adversarial_predictions=self.network.predict(adversarial),
             perturbed_features=changed.sum(axis=1).astype(np.int64),
             constraints=self.constraints,

@@ -26,10 +26,12 @@ import numpy as np
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.trajectory import TrajectoryRecorder
 from repro.config import CLASS_CLEAN, CLASS_MALWARE
 from repro.exceptions import AttackError
 from repro.nn.network import NeuralNetwork
 from repro.scenarios.registry import Param, register_attack
+from repro.utils.topk import top_k_indices
 from repro.utils.validation import check_matrix
 
 
@@ -79,6 +81,11 @@ class JsmaAttack(Attack):
 
     name = "jsma"
 
+    #: The greedy add-only loop is budget-oblivious at fixed θ, so a
+    #: recorded run can be sliced to any smaller γ (see
+    #: :mod:`repro.attacks.trajectory` and :mod:`repro.evaluation.sweep`).
+    supports_trajectory = True
+
     def __init__(self, network: NeuralNetwork,
                  constraints: Optional[PerturbationConstraints] = None,
                  target_class: int = CLASS_CLEAN,
@@ -125,7 +132,16 @@ class JsmaAttack(Attack):
     # ------------------------------------------------------------------ #
     # Attack loop
     # ------------------------------------------------------------------ #
-    def run(self, features: np.ndarray) -> AttackResult:
+    def run(self, features: np.ndarray,
+            recorder: Optional[TrajectoryRecorder] = None) -> AttackResult:
+        """Craft adversarial examples; optionally record the trajectory.
+
+        ``recorder`` (a fresh :class:`~repro.attacks.trajectory
+        .TrajectoryRecorder`) captures the sparse perturbation log and
+        per-step evasion flags at negligible overhead — everything it stores
+        is already computed by the loop.  The γ-sweep replay engine slices
+        that log instead of re-running the attack per operating point.
+        """
         original = check_matrix(features, name="features",
                                 n_features=self.network.input_dim)
         adversarial = original.copy()
@@ -134,6 +150,12 @@ class JsmaAttack(Attack):
         budget = constraints.max_features(n_features)
         modifiable = constraints.modifiable_mask(n_features)
         iterations = np.zeros(n_samples, dtype=np.int64)
+
+        if recorder is not None:
+            recorder.begin(theta=constraints.theta, budget=budget,
+                           n_samples=n_samples, n_features=n_features,
+                           early_stop=self.early_stop,
+                           features_per_step=self.features_per_step)
 
         if budget == 0 or constraints.theta == 0.0:
             return self._package(original, adversarial, iterations)
@@ -144,7 +166,7 @@ class JsmaAttack(Attack):
         per_step = self.features_per_step
         n_steps = budget if per_step == 1 else -(-budget // per_step)
 
-        for _ in range(n_steps):
+        for step in range(n_steps):
             if not np.any(active):
                 break
             idx = np.flatnonzero(active)
@@ -154,8 +176,11 @@ class JsmaAttack(Attack):
             # is needed.
             jacobian, probs = self.network.class_gradients(adversarial[idx],
                                                            return_probs=True)
-            if self.early_stop:
+            if self.early_stop or recorder is not None:
                 evaded = np.argmax(probs, axis=1) == self.target_class
+                if recorder is not None and np.any(evaded):
+                    recorder.record_evasions(idx[evaded])
+            if self.early_stop:
                 if np.any(evaded):
                     active[idx[evaded]] = False
                     keep = ~evaded
@@ -180,11 +205,12 @@ class JsmaAttack(Attack):
                 cols = best[feasible]
                 progressed = feasible
             else:
-                # Top-k selection capped by each sample's remaining budget.
+                # Top-k selection capped by each sample's remaining budget
+                # (argpartition-based: O(d) per row instead of a full sort).
                 remaining = budget - touched[idx].sum(axis=1)
                 k_row = np.minimum(per_step, remaining)
                 k_max = int(max(k_row.max(), 1))
-                order = np.argsort(-scores, axis=1)[:, :k_max]
+                order = top_k_indices(scores, k_max)
                 top_scores = np.take_along_axis(scores, order, axis=1)
                 valid = np.isfinite(top_scores) & (np.arange(k_max)[None, :]
                                                    < k_row[:, None])
@@ -195,10 +221,14 @@ class JsmaAttack(Attack):
             if not np.any(progressed):
                 break
 
+            old_values = adversarial[rows, cols] if recorder is not None else None
             adversarial[rows, cols] = np.minimum(
                 adversarial[rows, cols] + constraints.theta, constraints.clip_max)
             touched[rows, cols] = True
             np.add.at(iterations, rows, 1)
+            if recorder is not None:
+                recorder.record_step(step, rows, cols, old_values,
+                                     adversarial[rows, cols])
 
             # Samples with no feasible feature left stop here; evaded samples
             # are caught by the probability check at the top of the next step.
@@ -231,5 +261,4 @@ class JsmaAttack(Attack):
         saturated = matrix >= self.constraints.clip_max - 1e-12
         infeasible = (~modifiable)[None, :] | saturated
         scores = np.where(infeasible, -np.inf, scores)
-        order = np.argsort(-scores, axis=1)
-        return order[:, :top_k]
+        return top_k_indices(scores, top_k)

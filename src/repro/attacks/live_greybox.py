@@ -29,6 +29,7 @@ from repro.features.pipeline import FeaturePipeline
 from repro.nn.network import NeuralNetwork
 from repro.scenarios.registry import Param, register_attack
 from repro.utils.rng import RandomState, as_rng
+from repro.utils.topk import top_k_indices
 
 
 @dataclass
@@ -154,7 +155,7 @@ class LiveGreyBoxAttack:
         transformer = self.pipeline.transformer
         scales = getattr(transformer, "scales", None)
         per_call_effect = clean_pull / scales if scales is not None else clean_pull
-        ranked = np.argsort(-per_call_effect)[:max(candidates, 1)]
+        ranked = top_k_indices(per_call_effect, max(candidates, 1))
         catalog = self.pipeline.catalog
         for index in ranked:
             api = catalog.name_of(int(index))

@@ -1,0 +1,232 @@
+"""Sparse perturbation trajectories of greedy add-only attacks.
+
+JSMA's add-only loop is *greedy and budget-oblivious*: at a fixed θ the
+sequence of (sample, feature) perturbations it applies does not depend on
+the γ budget — a smaller budget simply truncates the sequence.  Recording
+the sequence once therefore makes every smaller operating point a cheap
+array slice instead of a fresh attack run, which is what the
+γ-security-curve replay engine (:mod:`repro.evaluation.sweep`) exploits.
+
+:class:`TrajectoryRecorder` is the opt-in hook :meth:`JsmaAttack.run
+<repro.attacks.jsma.JsmaAttack.run>` feeds; it captures, per perturbation
+event, ``(step, row, col, old_value, new_value)`` plus the per-step evasion
+flags read from the probabilities the attack loop already computes — no
+extra forward or backward passes.  :class:`JsmaTrajectory` is the frozen
+result, with :meth:`~JsmaTrajectory.materialize` rebuilding the adversarial
+matrix of any feature budget up to the recorded one, byte-identical (under
+float64) to what a from-scratch run at that budget would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import AttackError
+
+__all__ = ["JsmaTrajectory", "TrajectoryRecorder"]
+
+
+@dataclass
+class JsmaTrajectory:
+    """The sparse perturbation log of one instrumented attack run.
+
+    Events are stored chronologically; within one attack step, a sample's
+    events appear in saliency-rank order (the order the attack applied
+    them), so the first ``b`` events of a sample are exactly the
+    perturbations a budget-``b`` run would have applied.
+
+    Attributes
+    ----------
+    theta:
+        Per-feature perturbation magnitude the run used.
+    budget:
+        Feature budget of the recorded run (``round(gamma * n_features)``).
+        Budgets up to this value can be materialized.
+    early_stop / features_per_step:
+        The recorded attack's loop configuration (replay consumers use them
+        to decide which derived views are valid).
+    steps / rows / cols / old_values / new_values:
+        Parallel event arrays: attack step index, sample row, feature
+        column, and the feature value before/after the perturbation.
+    first_evaded_at:
+        Per sample, the number of perturbations applied when the crafting
+        model was *first observed* classifying it as the target class
+        (``-1`` when never observed inside the loop; a sample that only
+        evades on its final state is caught by the run's closing predict,
+        not by the in-loop flags).
+    """
+
+    theta: float
+    budget: int
+    n_samples: int
+    n_features: int
+    early_stop: bool
+    features_per_step: int
+    steps: np.ndarray
+    rows: np.ndarray
+    cols: np.ndarray
+    old_values: np.ndarray
+    new_values: np.ndarray
+    first_evaded_at: np.ndarray
+    _positions: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    @property
+    def n_events(self) -> int:
+        """Total number of recorded perturbation events."""
+        return int(self.rows.shape[0])
+
+    def sequence_positions(self) -> np.ndarray:
+        """Per-event 0-based position within its sample's event sequence.
+
+        Event ``i`` is the ``sequence_positions()[i]``-th perturbation ever
+        applied to sample ``rows[i]`` — the quantity budget slicing filters
+        on.  Computed once and cached.
+        """
+        if self._positions is None:
+            order = np.argsort(self.rows, kind="stable")
+            sorted_rows = self.rows[order]
+            positions = np.empty(self.n_events, dtype=np.int64)
+            if self.n_events:
+                new_group = np.r_[True, sorted_rows[1:] != sorted_rows[:-1]]
+                group_starts = np.flatnonzero(new_group)
+                lengths = np.diff(np.r_[group_starts, self.n_events])
+                offsets = np.arange(self.n_events) - np.repeat(group_starts, lengths)
+                positions[order] = offsets
+            self._positions = positions
+        return self._positions
+
+    def event_mask(self, budget: int) -> np.ndarray:
+        """Boolean mask of the events a budget-``budget`` run applies."""
+        if budget < 0:
+            raise AttackError(f"budget must be non-negative, got {budget}")
+        if budget > self.budget:
+            raise AttackError(
+                f"trajectory was recorded at feature budget {self.budget}; "
+                f"cannot materialize budget {budget}")
+        return self.sequence_positions() < budget
+
+    def perturbation_counts(self, budget: Optional[int] = None) -> np.ndarray:
+        """Per-sample number of perturbations applied within ``budget``."""
+        mask = (self.event_mask(budget) if budget is not None
+                else np.ones(self.n_events, dtype=bool))
+        counts = np.zeros(self.n_samples, dtype=np.int64)
+        np.add.at(counts, self.rows[mask], 1)
+        return counts
+
+    def materialize(self, original: np.ndarray, budget: int) -> np.ndarray:
+        """The adversarial matrix of a budget-``budget`` run, by replay.
+
+        Each (row, col) pair appears at most once in an add-only trajectory,
+        so replay is a single fancy-indexed assignment of the recorded
+        post-perturbation values onto a copy of ``original``.
+        """
+        original = np.asarray(original)
+        if original.shape != (self.n_samples, self.n_features):
+            raise AttackError(
+                f"original has shape {original.shape}; trajectory was recorded "
+                f"over ({self.n_samples}, {self.n_features})")
+        mask = self.event_mask(budget)
+        adversarial = original.copy()
+        adversarial[self.rows[mask], self.cols[mask]] = self.new_values[mask]
+        return adversarial
+
+    def materialize_grid(self, original: np.ndarray,
+                         budgets: Sequence[int]) -> List[np.ndarray]:
+        """Materialize one adversarial matrix per feature budget."""
+        return [self.materialize(original, budget) for budget in budgets]
+
+
+class TrajectoryRecorder:
+    """Collects one attack run's perturbation log (single use).
+
+    Pass a fresh instance to ``JsmaAttack.run(features, recorder=...)``;
+    after the run, :attr:`trajectory` holds the :class:`JsmaTrajectory`.
+    The recorder is deliberately append-only and unaware of attack
+    internals — the attack calls :meth:`begin` once, then
+    :meth:`record_step` / :meth:`record_evasions` per loop iteration.
+    """
+
+    def __init__(self) -> None:
+        self._meta: Optional[dict] = None
+        self._steps: List[np.ndarray] = []
+        self._rows: List[np.ndarray] = []
+        self._cols: List[np.ndarray] = []
+        self._old: List[np.ndarray] = []
+        self._new: List[np.ndarray] = []
+        self._counts: Optional[np.ndarray] = None
+        self._first_evaded: Optional[np.ndarray] = None
+        self._trajectory: Optional[JsmaTrajectory] = None
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the instrumented attack loop
+    # ------------------------------------------------------------------ #
+    def begin(self, *, theta: float, budget: int, n_samples: int,
+              n_features: int, early_stop: bool, features_per_step: int) -> None:
+        """Open the log; a recorder captures exactly one run."""
+        if self._meta is not None:
+            raise AttackError(
+                "TrajectoryRecorder already holds a run; use a fresh recorder "
+                "for every instrumented attack")
+        self._meta = {
+            "theta": float(theta),
+            "budget": int(budget),
+            "n_samples": int(n_samples),
+            "n_features": int(n_features),
+            "early_stop": bool(early_stop),
+            "features_per_step": int(features_per_step),
+        }
+        self._counts = np.zeros(n_samples, dtype=np.int64)
+        self._first_evaded = np.full(n_samples, -1, dtype=np.int64)
+
+    def record_evasions(self, sample_rows: np.ndarray) -> None:
+        """Mark samples observed evading at the start of the current step."""
+        if self._meta is None:
+            raise AttackError("record_evasions called before begin()")
+        rows = np.asarray(sample_rows, dtype=np.int64)
+        fresh = rows[self._first_evaded[rows] < 0]
+        self._first_evaded[fresh] = self._counts[fresh]
+
+    def record_step(self, step: int, rows: np.ndarray, cols: np.ndarray,
+                    old_values: np.ndarray, new_values: np.ndarray) -> None:
+        """Append one step's perturbation events (saliency-rank order)."""
+        if self._meta is None:
+            raise AttackError("record_step called before begin()")
+        rows = np.asarray(rows, dtype=np.int64)
+        self._steps.append(np.full(rows.shape[0], step, dtype=np.int64))
+        self._rows.append(rows)
+        self._cols.append(np.asarray(cols, dtype=np.int64))
+        self._old.append(np.array(old_values))
+        self._new.append(np.array(new_values))
+        np.add.at(self._counts, rows, 1)
+
+    # ------------------------------------------------------------------ #
+    # Result
+    # ------------------------------------------------------------------ #
+    @property
+    def trajectory(self) -> JsmaTrajectory:
+        """The recorded :class:`JsmaTrajectory` (built lazily once)."""
+        if self._meta is None:
+            raise AttackError(
+                "recorder holds no run yet; pass it to an instrumented "
+                "attack's run() first")
+        if self._trajectory is None:
+            value_dtype = self._new[0].dtype if self._new else np.float64
+
+            def _concat(chunks, dtype):
+                if not chunks:
+                    return np.empty(0, dtype=dtype)
+                return np.concatenate(chunks)
+
+            self._trajectory = JsmaTrajectory(
+                steps=_concat(self._steps, np.int64),
+                rows=_concat(self._rows, np.int64),
+                cols=_concat(self._cols, np.int64),
+                old_values=_concat(self._old, value_dtype),
+                new_values=_concat(self._new, value_dtype),
+                first_evaded_at=self._first_evaded.copy(),
+                **self._meta,
+            )
+        return self._trajectory

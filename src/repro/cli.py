@@ -36,7 +36,10 @@ grid through :func:`repro.scenarios.run_scenario` — either assembled from
 flags or loaded from a :class:`~repro.scenarios.ScenarioSpec` JSON file
 (a file holding a JSON *array* runs every spec in it) — and
 ``list-attacks`` / ``list-defenses`` print the registries with their
-parameter schemas.  ``run-grid`` expands an attacks x defenses product into
+parameter schemas.  γ-sweeps (``--sweep gamma``) execute through the
+trajectory-replay engine by default — one instrumented full-budget attack,
+operating points sliced from its recorded trajectory, byte-identical under
+float64; ``--sweep-strategy per_point`` forces the seed per-point path.  ``run-grid`` expands an attacks x defenses product into
 specs and runs them; with ``--workers N`` both commands shard the cells
 across a :class:`~repro.parallel.GridExecutor` process pool (reports merge
 in spec order, byte-identical to serial execution under float64).
@@ -173,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument("--sweep-values", default=None, metavar="V1,V2,...",
                                  help="explicit sweep grid (default: the paper "
                                       "grid at the scale profile's resolution)")
+    scenario_parser.add_argument("--sweep-strategy", choices=("replay", "per_point"),
+                                 default=None,
+                                 help="gamma-sweep execution: 'replay' (default) "
+                                      "slices one recorded full-budget attack "
+                                      "trajectory per operating point; "
+                                      "'per_point' re-runs the attack per point")
     scenario_parser.add_argument("--robustness-budget", type=int, default=None,
                                  metavar="N",
                                  help="also compute the minimal-evasion-budget "
@@ -438,6 +447,9 @@ def _fill_spec_defaults(spec: ScenarioSpec, args) -> ScenarioSpec:
         spec = spec.with_overrides(scale=args.scale)
     if spec.dtype is None and args.dtype is not None:
         spec = spec.with_overrides(dtype=args.dtype)
+    if (spec.sweep is not None and spec.sweep_strategy is None
+            and getattr(args, "sweep_strategy", None) is not None):
+        spec = spec.with_overrides(sweep_strategy=args.sweep_strategy)
     return spec
 
 
@@ -494,6 +506,7 @@ def _cmd_run_scenario(args) -> int:
             gamma=args.gamma,
             sweep=args.sweep,
             sweep_values=sweep_values,
+            sweep_strategy=args.sweep_strategy,
             robustness_budget=args.robustness_budget,
         )
     cache = _cache_from(args.cache_dir)

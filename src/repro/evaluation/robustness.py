@@ -17,8 +17,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.attacks.base import AttackResult
 from repro.attacks.constraints import PerturbationConstraints
 from repro.attacks.jsma import JsmaAttack
+from repro.attacks.trajectory import JsmaTrajectory, TrajectoryRecorder
 from repro.config import CLASS_CLEAN
 from repro.exceptions import AttackError
 from repro.nn.network import NeuralNetwork
@@ -79,14 +81,65 @@ class RobustnessReport:
         }
 
 
+def robustness_from_trajectory(trajectory: JsmaTrajectory, result: AttackResult,
+                               max_features: Optional[int] = None,
+                               theta: Optional[float] = None) -> RobustnessReport:
+    """The minimal-budget distribution as a view over a recorded run.
+
+    ``trajectory``/``result`` come from one instrumented early-stop JSMA
+    run.  With ``max_features`` at the recorded budget (the default) the
+    view reads straight off the final result: a sample's minimal budget is
+    the number of features the run perturbed before it evaded.
+
+    A *smaller* ``max_features`` derives the truncated distribution without
+    re-attacking: a sample first observed evading after ``k`` perturbations
+    has minimal budget ``k`` for every explored budget ``>= k``; a sample
+    that stopped short of the truncation point (infeasible, or evaded only
+    on its final state) keeps its result-based verdict.  Truncation is only
+    exact for classic single-feature steps with early stopping — anything
+    else raises.
+    """
+    budget = trajectory.budget if max_features is None else int(max_features)
+    if budget < 1:
+        raise AttackError(f"max_features must be >= 1, got {budget}")
+    if budget > trajectory.budget and trajectory.budget < trajectory.n_features:
+        # A budget beyond the recorded one is only meaningful when the run
+        # already explored the entire feature space (γ = 1): then larger
+        # nominal budgets change nothing.  Otherwise the data is missing.
+        raise AttackError(
+            f"trajectory explored budgets up to {trajectory.budget}; cannot "
+            f"derive the distribution at {budget}")
+    evaded = result.adversarial_predictions == CLASS_CLEAN
+    minimal = np.where(evaded, result.perturbed_features, -1).astype(np.int64)
+    if budget < trajectory.budget:
+        if not trajectory.early_stop or trajectory.features_per_step != 1:
+            raise AttackError(
+                "truncated robustness views require an early-stop trajectory "
+                "with features_per_step=1")
+        counts = trajectory.perturbation_counts()
+        first_evaded = trajectory.first_evaded_at
+        # Within the truncated budget a sample is evadable iff it was first
+        # observed evading after <= budget perturbations, or it ran out of
+        # feasible features / evaded on its final state at <= budget.
+        observed = (first_evaded >= 0) & (first_evaded <= budget)
+        stopped_short = (first_evaded < 0) & (counts <= budget) & evaded
+        minimal = np.where(observed, first_evaded,
+                           np.where(stopped_short, counts, -1)).astype(np.int64)
+    return RobustnessReport(
+        theta=float(theta if theta is not None else trajectory.theta),
+        max_features=int(budget), minimal_features=minimal)
+
+
 def minimal_evasion_budget(network: NeuralNetwork, malware_features: np.ndarray,
                            theta: float = 0.1, max_features: int = 30,
                            use_saliency_map: bool = True) -> RobustnessReport:
     """Compute the per-sample minimal evasion budget under add-only JSMA.
 
-    Runs a single full-budget JSMA pass (up to ``max_features`` added
-    features, stopping each sample as soon as it evades) and reads off how
-    many features each evading sample needed.
+    Runs a single full-budget *instrumented* JSMA pass (up to
+    ``max_features`` added features, stopping each sample as soon as it
+    evades) and reads the distribution off the recorded trajectory — the
+    same view the γ-sweep replay engine shares when a scenario asks for a
+    sweep and a robustness distribution together.
 
     Parameters
     ----------
@@ -107,12 +160,11 @@ def minimal_evasion_budget(network: NeuralNetwork, malware_features: np.ndarray,
     constraints = PerturbationConstraints(theta=theta, gamma=gamma)
     attack = JsmaAttack(network, constraints=constraints,
                         use_saliency_map=use_saliency_map, early_stop=True)
-    result = attack.run(features)
-
-    evaded = result.adversarial_predictions == CLASS_CLEAN
-    minimal = np.where(evaded, result.perturbed_features, -1).astype(np.int64)
-    return RobustnessReport(theta=float(theta), max_features=int(max_features),
-                            minimal_features=minimal)
+    recorder = TrajectoryRecorder()
+    result = attack.run(features, recorder=recorder)
+    return robustness_from_trajectory(recorder.trajectory, result,
+                                      max_features=int(max_features),
+                                      theta=float(theta))
 
 
 def compare_robustness(models: Dict[str, NeuralNetwork], malware_features: np.ndarray,

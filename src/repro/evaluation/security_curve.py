@@ -6,6 +6,12 @@ grows — either by increasing γ (more perturbed features, at fixed θ) or by
 increasing θ (larger per-feature perturbation, at fixed γ).  This module
 provides the sweep harness and the result containers those figures are
 rendered from.
+
+γ-sweeps default to the trajectory-replay strategy (one instrumented
+full-budget run, operating points sliced from its perturbation log — see
+:mod:`repro.evaluation.sweep`); θ-sweeps and replay-incapable attacks use
+the per-point loop, with all points × models scored through one stacked
+predict per model either way.
 """
 
 from __future__ import annotations
@@ -18,7 +24,6 @@ import numpy as np
 from repro.attacks.base import Attack
 from repro.attacks.constraints import PerturbationConstraints
 from repro.exceptions import AttackError
-from repro.nn.metrics import detection_rate
 from repro.nn.network import NeuralNetwork
 from repro.utils.validation import check_matrix
 
@@ -91,32 +96,61 @@ class SecurityCurve:
 
 AttackFactory = Callable[[PerturbationConstraints], Attack]
 
+#: Execution strategies for γ-sweeps.  ``replay`` (the default) runs one
+#: full-budget instrumented attack and slices its trajectory per operating
+#: point; ``per_point`` re-runs the attack from scratch at every point (the
+#: seed behaviour, and the only option for attacks without trajectories).
+SWEEP_STRATEGIES = ("replay", "per_point")
+
 
 def _sweep(attack_factory: AttackFactory, malware_features: np.ndarray,
            models: Dict[str, NeuralNetwork], theta_values: Sequence[float],
            gamma_values: Sequence[float], swept_parameter: str,
            fixed_value: float, n_features: Optional[int] = None) -> SecurityCurve:
+    """Per-point sweep: one attack run per operating point, fused scoring."""
+    from repro.evaluation.sweep import score_sweep_points  # lazy: avoids a cycle
+
     malware_features = check_matrix(malware_features, name="malware_features")
     n_features = n_features if n_features is not None else malware_features.shape[1]
     if not models:
         raise AttackError("at least one model must be evaluated")
     curve = SecurityCurve(swept_parameter=swept_parameter, fixed_value=fixed_value)
+
+    # Crafting happens per point, but the scoring below is fused: all
+    # points x models go through one stacked predict per model, and the
+    # crafting model's predictions for the unmodified inputs are computed
+    # once and primed into every attack instead of once per run.  The memo
+    # holds (network, predictions) pairs — keeping the network referenced —
+    # so a factory building fresh networks can never hit a stale entry.
+    results = []
+    primed: List[tuple] = []
     for theta, gamma in zip(theta_values, gamma_values):
         constraints = PerturbationConstraints(theta=float(theta), gamma=float(gamma))
         attack = attack_factory(constraints)
         curve.attack_name = attack.name
-        result = attack.run(malware_features)
-        rates = {name: (detection_rate(model.predict(result.adversarial)))
-                 for name, model in models.items()}
-        evaded = {name: int(round((1.0 - rate) * result.n_samples))
-                  for name, rate in rates.items()}
+        network = getattr(attack, "network", None)
+        if network is not None and hasattr(attack, "prime_original_predictions"):
+            predictions = next((known_predictions
+                                for known_network, known_predictions in primed
+                                if known_network is network), None)
+            if predictions is None:
+                predictions = network.predict(malware_features)
+                primed.append((network, predictions))
+            attack.prime_original_predictions(malware_features, predictions)
+        results.append(attack.run(malware_features))
+
+    rates, evaded = score_sweep_points(models,
+                                       [result.adversarial for result in results])
+    for theta, gamma, result, point_rates, point_evaded in zip(
+            theta_values, gamma_values, results, rates, evaded):
+        constraints = PerturbationConstraints(theta=float(theta), gamma=float(gamma))
         curve.points.append(SecurityCurvePoint(
             theta=float(theta),
             gamma=float(gamma),
             n_perturbed_features=constraints.max_features(n_features),
-            detection_rates=rates,
+            detection_rates=point_rates,
             mean_l2_distance=result.mean_l2_distance,
-            evaded_counts=evaded,
+            evaded_counts=point_evaded,
             swept_parameter=swept_parameter,
         ))
     return curve
@@ -124,13 +158,24 @@ def _sweep(attack_factory: AttackFactory, malware_features: np.ndarray,
 
 def gamma_sweep(attack_factory: AttackFactory, malware_features: np.ndarray,
                 models: Dict[str, NeuralNetwork], theta: float,
-                gamma_values: Sequence[float]) -> SecurityCurve:
-    """Sweep γ at fixed θ (Figures 3(a), 4(a), 4(c))."""
-    gamma_values = list(gamma_values)
-    return _sweep(attack_factory, malware_features, models,
-                  theta_values=[theta] * len(gamma_values),
-                  gamma_values=gamma_values,
-                  swept_parameter="gamma", fixed_value=theta)
+                gamma_values: Sequence[float],
+                strategy: str = "replay") -> SecurityCurve:
+    """Sweep γ at fixed θ (Figures 3(a), 4(a), 4(c)).
+
+    ``strategy="replay"`` (the default) runs the attack once at the largest
+    γ with a trajectory recorder and materializes every smaller operating
+    point by slicing the log — byte-identical results under float64 at
+    roughly ``1/len(gamma_values)`` of the attack compute (see
+    :mod:`repro.evaluation.sweep`).  Attacks that do not record
+    trajectories (e.g. the random-addition control) fall back to the
+    per-point path transparently; ``strategy="per_point"`` forces it.
+    """
+    from repro.evaluation.sweep import dispatch_gamma_sweep  # lazy: avoids a cycle
+
+    curve, _ = dispatch_gamma_sweep(attack_factory, malware_features, models,
+                                    theta=theta, gamma_values=gamma_values,
+                                    strategy=strategy)
+    return curve
 
 
 def theta_sweep(attack_factory: AttackFactory, malware_features: np.ndarray,

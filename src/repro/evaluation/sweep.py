@@ -1,0 +1,280 @@
+"""Trajectory-replay sweep engine for γ security curves.
+
+A γ-sweep at fixed θ re-runs the same greedy add-only attack with nothing
+but the feature budget changed.  JSMA's trajectory is *prefix-identical*
+across budgets (see :mod:`repro.attacks.trajectory`), so the per-point
+recomputation the seed harness did — one complete attack per grid point —
+collapses to:
+
+1. **one** full-budget instrumented run at the largest γ of the grid;
+2. each operating point materialized by slicing the recorded trajectory
+   prefix (honouring per-budget early-stop semantics: the log already ends
+   where a smaller-budget run would have stopped);
+3. all points × models scored through **one** stacked ``predict`` per
+   model, with the original-input predictions computed once and shared.
+
+Under float64 the resulting :class:`~repro.evaluation.security_curve
+.SecurityCurve` is byte-identical to the per-point path (``as_rows`` and
+the rendered figure text) — the replay-parity tests and
+``benchmarks/test_bench_sweep.py`` pin this, and the bench records the
+wall-clock win (≈ number-of-grid-points × less attack compute).
+
+θ-sweeps cannot share trajectories (θ changes the step content), but the
+stacked-prediction scoring in :func:`score_sweep_points` is shared with the
+per-point path, so they get the prediction fusion for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.constraints import PerturbationConstraints
+from repro.attacks.trajectory import JsmaTrajectory, TrajectoryRecorder
+from repro.config import CLASS_CLEAN
+from repro.evaluation.security_curve import (
+    AttackFactory,
+    SecurityCurve,
+    SecurityCurvePoint,
+)
+from repro.exceptions import AttackError
+from repro.nn.metrics import detection_rate
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "ReplaySweep",
+    "dispatch_gamma_sweep",
+    "gamma_sweep_from_trajectory",
+    "replay_gamma_sweep",
+    "score_sweep_points",
+    "supports_replay",
+]
+
+
+def supports_replay(attack) -> bool:
+    """Whether ``attack`` records budget-sliceable trajectories."""
+    return bool(getattr(attack, "supports_trajectory", False))
+
+
+def score_sweep_points(models: Dict[str, object],
+                       adversarials: Sequence[np.ndarray],
+                       known_predictions: Optional[Dict[str, Dict[int, np.ndarray]]] = None,
+                       ) -> Tuple[List[Dict[str, float]], List[Dict[str, int]]]:
+    """Detection rates and evaded counts for every (point, model) pair.
+
+    One stacked ``predict`` per model over all points' adversarial matrices
+    replaces ``points × models`` separate calls.  Evaded counts are read
+    directly off the evasion mask (``prediction == clean``) — no float
+    round-tripping through the rate.
+
+    ``known_predictions`` maps ``model_name -> {point_index: predictions}``
+    for points whose hard predictions were already computed elsewhere (e.g.
+    the instrumented run's own closing predict covers the max-budget point);
+    those points are excluded from that model's stacked forward pass.
+
+    Returns ``(rates, evaded)``: per point, a ``{model_name: value}`` dict.
+    """
+    if not adversarials:
+        return [], []
+    known_predictions = known_predictions or {}
+    rates: List[Dict[str, float]] = [{} for _ in adversarials]
+    evaded: List[Dict[str, int]] = [{} for _ in adversarials]
+    for name, model in models.items():
+        known = known_predictions.get(name, {})
+        fresh_indices = [index for index in range(len(adversarials))
+                         if index not in known]
+        per_point: Dict[int, np.ndarray] = dict(known)
+        if fresh_indices:
+            boundaries = np.cumsum([adversarials[index].shape[0]
+                                    for index in fresh_indices])[:-1]
+            stacked = np.vstack([adversarials[index] for index in fresh_indices])
+            for index, predictions in zip(fresh_indices,
+                                          np.split(model.predict(stacked),
+                                                   boundaries)):
+                per_point[index] = predictions
+        for index in range(len(adversarials)):
+            point_predictions = per_point[index]
+            evasion_mask = point_predictions == CLASS_CLEAN
+            rates[index][name] = detection_rate(point_predictions)
+            evaded[index][name] = int(np.count_nonzero(evasion_mask))
+    return rates, evaded
+
+
+@dataclass
+class ReplaySweep:
+    """One instrumented run plus everything the γ grid derives from it.
+
+    ``curve`` is the security curve consumers plot; the rest exposes the
+    shared substrate so drivers can derive *more* views (per-point
+    :class:`AttackResult`\\ s, target-side replays, robustness
+    distributions) without another attack run.
+    """
+
+    curve: SecurityCurve
+    trajectory: JsmaTrajectory
+    attack: Attack
+    original: np.ndarray
+    full_result: AttackResult
+    budgets: List[int]
+    adversarials: List[np.ndarray]
+    n_features: int
+
+    def budget_for(self, gamma: float) -> int:
+        """The feature budget an operating point at ``gamma`` maps to."""
+        return self.attack.constraints.with_strength(
+            gamma=float(gamma)).max_features(self.n_features)
+
+    def adversarial_at(self, gamma: float) -> np.ndarray:
+        """The adversarial matrix of the operating point at ``gamma``."""
+        return self.trajectory.materialize(self.original, self.budget_for(gamma))
+
+    def result_at(self, gamma: float) -> AttackResult:
+        """A full :class:`AttackResult` for one γ, materialized by replay.
+
+        Byte-identical (under float64) to ``attack_factory(constraints)
+        .run(features)`` at that operating point: the adversarial matrix is
+        the sliced trajectory, the original predictions are shared from the
+        instrumented run, and only the adversarial matrix is re-predicted.
+        """
+        budget = self.budget_for(gamma)
+        adversarial = self.trajectory.materialize(self.original, budget)
+        changed = np.abs(adversarial - self.original) > 1e-12
+        return AttackResult(
+            original=self.original,
+            adversarial=adversarial,
+            original_predictions=self.full_result.original_predictions,
+            adversarial_predictions=self.attack.network.predict(adversarial),
+            perturbed_features=changed.sum(axis=1).astype(np.int64),
+            constraints=self.attack.constraints.with_strength(gamma=float(gamma)),
+            attack_name=self.attack.name,
+            iterations=self.trajectory.perturbation_counts(budget),
+        )
+
+
+def replay_gamma_sweep(attack_factory: AttackFactory,
+                       malware_features: np.ndarray,
+                       models: Dict[str, object], theta: float,
+                       gamma_values: Sequence[float],
+                       n_features: Optional[int] = None,
+                       attack: Optional[Attack] = None) -> ReplaySweep:
+    """γ-sweep via one instrumented run (the replay engine's full view).
+
+    Parameters mirror :func:`repro.evaluation.security_curve.gamma_sweep`;
+    ``attack`` optionally supplies an already-built full-budget attack (the
+    probe the strategy switch constructed) so the factory is not invoked
+    twice.  Raises :class:`AttackError` when the attack does not record
+    trajectories — callers wanting a transparent fallback should check
+    :func:`supports_replay` first.
+    """
+    malware_features = check_matrix(malware_features, name="malware_features")
+    n_features = n_features if n_features is not None else malware_features.shape[1]
+    if not models:
+        raise AttackError("at least one model must be evaluated")
+    gamma_values = [float(gamma) for gamma in gamma_values]
+    if not gamma_values:
+        raise AttackError("gamma_values must contain at least one point")
+
+    full_constraints = PerturbationConstraints(theta=float(theta),
+                                               gamma=max(gamma_values))
+    if attack is None:
+        attack = attack_factory(full_constraints)
+    if not supports_replay(attack):
+        raise AttackError(
+            f"attack {getattr(attack, 'name', attack)!r} does not record "
+            f"trajectories; use strategy='per_point'")
+
+    recorder = TrajectoryRecorder()
+    full_result = attack.run(malware_features, recorder=recorder)
+    trajectory = recorder.trajectory
+    original = full_result.original
+
+    # max_features only depends on γ, but go through the attack's own
+    # constraints so factories that override θ (e.g. the binary grey-box
+    # substitute crafting at θ=1.0) keep consistent semantics.
+    budgets = [attack.constraints.with_strength(gamma=gamma)
+               .max_features(n_features) for gamma in gamma_values]
+    adversarials = trajectory.materialize_grid(original, budgets)
+    # Max-budget points are byte-identical to the instrumented run's final
+    # matrix, whose crafting-model predictions _package already computed —
+    # feed them back instead of re-predicting those rows.
+    known = {name: {index: full_result.adversarial_predictions
+                    for index, budget in enumerate(budgets)
+                    if budget == trajectory.budget}
+             for name, model in models.items()
+             if model is getattr(attack, "network", None)}
+    rates, evaded = score_sweep_points(models, adversarials,
+                                       known_predictions=known)
+
+    curve = SecurityCurve(swept_parameter="gamma", fixed_value=float(theta),
+                          attack_name=attack.name)
+    for gamma, budget, adversarial, point_rates, point_evaded in zip(
+            gamma_values, budgets, adversarials, rates, evaded):
+        curve.points.append(SecurityCurvePoint(
+            theta=float(theta),
+            gamma=float(gamma),
+            n_perturbed_features=budget,
+            detection_rates=point_rates,
+            mean_l2_distance=float(np.mean(
+                np.linalg.norm(adversarial - original, axis=1))),
+            evaded_counts=point_evaded,
+            swept_parameter="gamma",
+        ))
+    return ReplaySweep(curve=curve, trajectory=trajectory, attack=attack,
+                       original=original, full_result=full_result,
+                       budgets=budgets, adversarials=adversarials,
+                       n_features=n_features)
+
+
+def dispatch_gamma_sweep(attack_factory: AttackFactory,
+                         malware_features: np.ndarray,
+                         models: Dict[str, object], theta: float,
+                         gamma_values: Sequence[float],
+                         strategy: str = "replay",
+                         ) -> Tuple[SecurityCurve, Optional[ReplaySweep]]:
+    """Run a γ-sweep under ``strategy``; the one replay/per-point decision.
+
+    Returns ``(curve, replay)`` where ``replay`` is the
+    :class:`ReplaySweep` when the replay engine ran (strategy ``"replay"``
+    and the attack records trajectories) and ``None`` when the per-point
+    path did.  Both :func:`repro.evaluation.security_curve.gamma_sweep`
+    and the scenario runner route through here so the probe construction
+    and fallback rules cannot diverge.
+    """
+    from repro.evaluation.security_curve import SWEEP_STRATEGIES, _sweep
+
+    if strategy not in SWEEP_STRATEGIES:
+        raise AttackError(
+            f"strategy must be one of {SWEEP_STRATEGIES}, got {strategy!r}")
+    gamma_values = [float(gamma) for gamma in gamma_values]
+    if strategy == "replay" and gamma_values:
+        probe = attack_factory(PerturbationConstraints(theta=float(theta),
+                                                       gamma=max(gamma_values)))
+        if supports_replay(probe):
+            replay = replay_gamma_sweep(attack_factory, malware_features,
+                                        models, theta=theta,
+                                        gamma_values=gamma_values,
+                                        attack=probe)
+            return replay.curve, replay
+    curve = _sweep(attack_factory, malware_features, models,
+                   theta_values=[float(theta)] * len(gamma_values),
+                   gamma_values=gamma_values,
+                   swept_parameter="gamma", fixed_value=float(theta))
+    return curve, None
+
+
+def gamma_sweep_from_trajectory(attack_factory: AttackFactory,
+                                malware_features: np.ndarray,
+                                models: Dict[str, object], theta: float,
+                                gamma_values: Sequence[float],
+                                n_features: Optional[int] = None) -> SecurityCurve:
+    """The replayed γ security curve (curve-only view of the engine).
+
+    One full-budget instrumented attack run; every operating point is a
+    trajectory-prefix slice, scored through one stacked predict per model.
+    """
+    return replay_gamma_sweep(attack_factory, malware_features, models,
+                              theta=theta, gamma_values=gamma_values,
+                              n_features=n_features).curve

@@ -8,7 +8,10 @@ the detection rate, so each sweep also carries a random-addition baseline.
 
 The figure is three declarative scenarios (see :func:`specs`) run through
 :func:`repro.scenarios.run_scenario`; this module only supplies the specs
-and the two-panel rendering.
+and the two-panel rendering.  The γ panels execute through the
+trajectory-replay sweep engine (one instrumented JSMA run per curve, see
+:mod:`repro.evaluation.sweep`); the random-addition control has no
+trajectory and runs per point.
 """
 
 from __future__ import annotations

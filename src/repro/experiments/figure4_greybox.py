@@ -14,6 +14,13 @@ Crafting for transfer uses the full γ budget (``early_stop=False``): stopping
 as soon as the substitute is fooled produces minimal perturbations that do
 not transfer, whereas the paper's CleverHans configuration perturbs up to the
 budget.
+
+Both γ panels run through the trajectory-replay sweep engine
+(:mod:`repro.evaluation.sweep`): panel (a) via its scenario, and panel (c)
+directly — one instrumented binary-substitute run supplies the substitute
+curve, every target-side count-space realisation *and* the operating-point
+transfer result, where the seed driver re-crafted from scratch twice per
+grid point.
 """
 
 from __future__ import annotations
@@ -29,10 +36,10 @@ from repro.attacks.constraints import PerturbationConstraints
 from repro.evaluation.reports import render_security_curve
 from repro.evaluation.security_curve import (
     SecurityCurve,
-    gamma_sweep,
     paper_gamma_grid,
     paper_theta_grid,
 )
+from repro.evaluation.sweep import replay_gamma_sweep, score_sweep_points
 from repro.experiments import paper_values
 from repro.experiments.context import ExperimentContext
 from repro.scenarios import ScenarioSpec
@@ -161,29 +168,42 @@ def run(context: ExperimentContext, n_gamma_points: Optional[int] = None,
         return JsmaAttack(binary_substitute.network, constraints=binary_constraints,
                           early_stop=False)
 
-    def replay_on_target(attack_result) -> np.ndarray:
-        changed = (attack_result.adversarial - attack_result.original) > 1e-12
+    def replay_on_target(adversarial_binary: np.ndarray) -> np.ndarray:
+        changed = (adversarial_binary - malware_binary) > 1e-12
         count_delta = changed * (calls_per_feature / scales[None, :])
         return np.clip(malware.features + count_delta, 0.0, 1.0)
 
+    # One instrumented full-budget run covers the whole panel: each grid
+    # point (substitute side), every target-side realisation, and the
+    # operating-point transfer result are views over the same trajectory —
+    # the seed driver re-crafted from scratch *twice* per grid point.
     binary_models = {"substitute": binary_substitute.network}
-    binary_curve = gamma_sweep(binary_attack, malware_binary, binary_models,
-                               theta=0.1, gamma_values=gamma_grid)
+    binary_sweep = replay_gamma_sweep(binary_attack, malware_binary,
+                                      binary_models, theta=0.1,
+                                      gamma_values=gamma_grid)
+    binary_curve = binary_sweep.curve
     # Add the target's detection rate at each point by realising the binary
-    # perturbations as "add a few API calls" in the target's count space.
+    # perturbations as "add a few API calls" in the target's count space
+    # (all points through one stacked target predict).
+    target_rates, target_evaded = score_sweep_points(
+        {"target": target.network},
+        [replay_on_target(adversarial)
+         for adversarial in binary_sweep.adversarials])
+    for point, rates, evaded in zip(binary_curve.points, target_rates,
+                                    target_evaded):
+        point.detection_rates["target"] = rates["target"]
+        point.evaded_counts["target"] = evaded["target"]
+
+    operating_gamma = 0.025
+    if binary_sweep.budget_for(operating_gamma) <= binary_sweep.trajectory.budget:
+        operating_crafted = binary_sweep.result_at(operating_gamma)
+    else:  # grid subsampled below the paper operating point: craft directly
+        operating_crafted = binary_attack(
+            PerturbationConstraints(theta=0.1, gamma=operating_gamma)).run(malware_binary)
     from repro.nn.metrics import detection_rate as _detection_rate
 
-    for point in binary_curve.points:
-        constraints = PerturbationConstraints(theta=point.theta, gamma=point.gamma)
-        crafted = binary_attack(constraints).run(malware_binary)
-        target_rate = _detection_rate(target.network.predict(replay_on_target(crafted)))
-        point.detection_rates["target"] = target_rate
-        point.evaded_counts["target"] = int(round((1 - target_rate) * crafted.n_samples))
-
-    operating_crafted = binary_attack(
-        PerturbationConstraints(theta=0.1, gamma=0.025)).run(malware_binary)
     operating_target_rate = _detection_rate(
-        target.network.predict(replay_on_target(operating_crafted)))
+        target.network.predict(replay_on_target(operating_crafted.adversarial)))
     binary_operating = TransferResult(
         attack_result=operating_crafted,
         substitute_detection_rate=operating_crafted.detection_rate,

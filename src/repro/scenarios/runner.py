@@ -33,14 +33,18 @@ from repro.attacks.base import AttackResult
 from repro.attacks.constraints import PerturbationConstraints
 from repro.config import CLASS_CLEAN, CLASS_MALWARE, get_profile
 from repro.evaluation.reports import format_table, render_security_curve
-from repro.evaluation.robustness import RobustnessReport, minimal_evasion_budget
+from repro.evaluation.robustness import (
+    RobustnessReport,
+    minimal_evasion_budget,
+    robustness_from_trajectory,
+)
 from repro.evaluation.security_curve import (
     SecurityCurve,
-    gamma_sweep,
     paper_gamma_grid,
     paper_theta_grid,
     theta_sweep,
 )
+from repro.evaluation.sweep import ReplaySweep, dispatch_gamma_sweep
 from repro.exceptions import ConfigurationError
 from repro.nn.metrics import detection_rate
 from repro.scenarios.registry import (
@@ -297,6 +301,40 @@ def _craft(spec: ScenarioSpec, context, entry, attack, params, inputs) -> Attack
     return attack.run(inputs)
 
 
+def _robustness_for(spec: ScenarioSpec, network, inputs,
+                    replayed) -> "RobustnessReport":
+    """The minimal-evasion-budget distribution for one scenario.
+
+    When the scenario's γ-sweep already ran the replay engine with a
+    configuration matching :func:`minimal_evasion_budget`'s canonical attack
+    (same network, early-stop single-feature saliency JSMA at the same θ,
+    trajectory covering the requested budget), the distribution is a free
+    view over that trajectory; otherwise one instrumented run is made.
+    """
+    from repro.attacks.jsma import JsmaAttack
+
+    budget = spec.robustness_budget
+    if replayed is not None:
+        attack = replayed.attack
+        trajectory = replayed.trajectory
+        shareable = (isinstance(attack, JsmaAttack)
+                     and attack.network is network
+                     and attack.early_stop
+                     and attack.use_saliency_map
+                     and attack.features_per_step == 1
+                     and attack.target_class == CLASS_CLEAN
+                     and attack.constraints.feature_mask is None
+                     and trajectory.theta == float(spec.theta)
+                     and trajectory.budget >= min(budget,
+                                                  trajectory.n_features))
+        if shareable:
+            return robustness_from_trajectory(trajectory, replayed.full_result,
+                                              max_features=budget,
+                                              theta=spec.theta)
+    return minimal_evasion_budget(network, inputs, theta=spec.theta,
+                                  max_features=budget)
+
+
 def _defense_cells(context, detector, adversarial: np.ndarray) -> Dict[str, Dict[str, float]]:
     """The Table VI cells: TNR on clean, TPR on malware and adversarial sets."""
     clean_test = context.corpus.test.clean_only()
@@ -411,17 +449,27 @@ def run_scenario(spec: ScenarioSpec, context=None) -> ScenarioReport:
     if defense_entry.entry_id != "none" and spec.model != "binary_substitute":
         models[f"defended[{defense_entry.entry_id}]"] = detector
 
-    def attack_factory(constraints: PerturbationConstraints):
-        return attack_entry.factory(attack_entry.cls, network, constraints,
-                                    attack_params, context)
+    # The no-attack predictions double as the sweep/operating-point baseline
+    # and as the primed original predictions every crafted attack reuses
+    # (sweep points and grid workers stop re-predicting identical matrices).
+    original_predictions = {name: model.predict(inputs)
+                            for name, model in models.items()}
+    baseline = {name: detection_rate(predictions)
+                for name, predictions in original_predictions.items()}
 
-    baseline = {name: detection_rate(model.predict(inputs))
-                for name, model in models.items()}
+    def attack_factory(constraints: PerturbationConstraints):
+        attack = attack_entry.factory(attack_entry.cls, network, constraints,
+                                      attack_params, context)
+        if hasattr(attack, "prime_original_predictions"):
+            attack.prime_original_predictions(inputs,
+                                              original_predictions[spec.model])
+        return attack
 
     curve: Optional[SecurityCurve] = None
     attack_result: Optional[AttackResult] = None
     detection: Dict[str, float] = {}
     defense_eval: Optional[Dict[str, Dict[str, float]]] = None
+    replayed: Optional[ReplaySweep] = None
 
     if spec.sweep is not None:
         if spec.sweep_values is not None:
@@ -431,8 +479,11 @@ def run_scenario(spec: ScenarioSpec, context=None) -> ScenarioReport:
         else:
             grid = paper_theta_grid(context.scale.sweep_points_theta)
         if spec.sweep == "gamma":
-            curve = gamma_sweep(attack_factory, inputs, models,
-                                theta=spec.theta, gamma_values=grid)
+            # Keep the replay object (when the engine ran): the robustness
+            # distribution below may be another view over its trajectory.
+            curve, replayed = dispatch_gamma_sweep(
+                attack_factory, inputs, models, theta=spec.theta,
+                gamma_values=grid, strategy=spec.sweep_strategy or "replay")
         else:
             curve = theta_sweep(attack_factory, inputs, models,
                                 gamma=spec.gamma, theta_values=grid)
@@ -449,9 +500,7 @@ def run_scenario(spec: ScenarioSpec, context=None) -> ScenarioReport:
 
     robustness: Optional[RobustnessReport] = None
     if spec.robustness_budget is not None:
-        robustness = minimal_evasion_budget(
-            network, inputs, theta=spec.theta,
-            max_features=spec.robustness_budget)
+        robustness = _robustness_for(spec, network, inputs, replayed)
 
     return ScenarioReport(
         spec=spec,

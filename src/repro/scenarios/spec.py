@@ -31,6 +31,8 @@ MODEL_KINDS = ("target", "substitute", "binary_substitute")
 
 _SWEEPS = (None, "gamma", "theta")
 
+_SWEEP_STRATEGIES = (None, "replay", "per_point")
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -58,6 +60,11 @@ class ScenarioSpec:
         over ``sweep_values`` (``None`` uses the paper grid at the scale
         profile's resolution); the other constraint parameter stays fixed at
         ``theta``/``gamma``.
+    sweep_strategy:
+        How γ-sweeps execute: ``"replay"`` (the default when ``None``)
+        records one full-budget attack trajectory and slices it per
+        operating point; ``"per_point"`` re-runs the attack at every point.
+        Results are byte-identical under float64; θ-sweeps ignore this.
     robustness_budget:
         When set, additionally computes the per-sample minimal-evasion-budget
         distribution up to this many added features.
@@ -75,6 +82,7 @@ class ScenarioSpec:
     gamma: float = 0.02
     sweep: Optional[str] = None
     sweep_values: Optional[Tuple[float, ...]] = None
+    sweep_strategy: Optional[str] = None
     robustness_budget: Optional[int] = None
     attack_params: Mapping[str, object] = field(default_factory=dict)
     defense_params: Mapping[str, object] = field(default_factory=dict)
@@ -96,6 +104,12 @@ class ScenarioSpec:
                 f"robustness_budget must be >= 1, got {self.robustness_budget}")
         if self.sweep_values is not None and self.sweep is None:
             raise ConfigurationError("sweep_values requires sweep to be set")
+        if self.sweep_strategy not in _SWEEP_STRATEGIES:
+            raise ConfigurationError(
+                f"sweep_strategy must be one of {_SWEEP_STRATEGIES}, "
+                f"got {self.sweep_strategy!r}")
+        if self.sweep_strategy is not None and self.sweep is None:
+            raise ConfigurationError("sweep_strategy requires sweep to be set")
         # Normalise mutable inputs so equality and serialisation are stable
         # (explicit nulls in hand-written spec files mean "no overrides").
         object.__setattr__(self, "theta", float(self.theta))
@@ -126,6 +140,7 @@ class ScenarioSpec:
             "sweep": self.sweep,
             "sweep_values": (list(self.sweep_values)
                              if self.sweep_values is not None else None),
+            "sweep_strategy": self.sweep_strategy,
             "robustness_budget": self.robustness_budget,
             "label": self.label,
         }

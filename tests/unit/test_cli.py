@@ -59,6 +59,29 @@ class TestParser:
         args = build_parser().parse_args(["cache-info", "--cache-dir", "x"])
         assert args.command == "cache-info"
 
+    def test_sweep_strategy_flag_parses_and_validates(self):
+        args = build_parser().parse_args(
+            ["run-scenario", "--sweep", "gamma", "--sweep-strategy", "per_point"])
+        assert args.sweep_strategy == "per_point"
+        assert build_parser().parse_args(["run-scenario"]).sweep_strategy is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-scenario", "--sweep-strategy", "memoized"])
+
+    def test_sweep_strategy_flag_fills_null_spec_field(self):
+        from repro.cli import _fill_spec_defaults
+        from repro.scenarios import ScenarioSpec
+
+        args = build_parser().parse_args(
+            ["run-scenario", "--sweep-strategy", "per_point"])
+        sweep_spec = ScenarioSpec(sweep="gamma", scale="tiny")
+        assert _fill_spec_defaults(sweep_spec, args).sweep_strategy == "per_point"
+        # Spec files stay authoritative, and point runs have no sweep to fill.
+        pinned = ScenarioSpec(sweep="gamma", sweep_strategy="replay", scale="tiny")
+        assert _fill_spec_defaults(pinned, args).sweep_strategy == "replay"
+        point = ScenarioSpec(scale="tiny")
+        assert _fill_spec_defaults(point, args).sweep_strategy is None
+
 
 class TestLoadScoringSource:
     def test_reads_table2_text_log(self, tmp_path):

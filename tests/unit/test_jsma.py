@@ -231,3 +231,59 @@ class TestAttackResult:
         transfer = result.transfer_rate_to(tiny_target.network)
         detection = result.detection_rate_under(tiny_target.network)
         assert transfer == pytest.approx(1.0 - detection)
+
+
+class TestPrimedOriginalPredictions:
+    """Attack._package reuse of precomputed original predictions."""
+
+    def test_primed_predictions_skip_the_original_predict(self, tiny_target,
+                                                          tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.01))
+        features = tiny_malware.features
+        primed = tiny_target.network.predict(features)
+
+        calls = []
+        real_predict = tiny_target.network.predict
+        tiny_target.network.predict = lambda x: (calls.append(x.shape[0]),
+                                                 real_predict(x))[1]
+        try:
+            attack.prime_original_predictions(features, primed)
+            result = attack.run(features)
+        finally:
+            tiny_target.network.predict = real_predict
+        # The early-stop loop reads probabilities from the Jacobian pass and
+        # the originals are primed, so only the adversarial matrix and the
+        # baseline computed above go through predict() — exactly one call.
+        assert len(calls) == 1
+        np.testing.assert_array_equal(result.original_predictions, primed)
+
+    def test_primed_predictions_match_unprimed_run(self, tiny_target, tiny_malware):
+        constraints = PerturbationConstraints(theta=0.1, gamma=0.02)
+        plain = JsmaAttack(tiny_target.network, constraints).run(tiny_malware.features)
+        primed_attack = JsmaAttack(tiny_target.network, constraints)
+        primed_attack.prime_original_predictions(
+            tiny_malware.features,
+            tiny_target.network.predict(tiny_malware.features))
+        primed = primed_attack.run(tiny_malware.features)
+        np.testing.assert_array_equal(plain.original_predictions,
+                                      primed.original_predictions)
+        np.testing.assert_array_equal(plain.adversarial, primed.adversarial)
+
+    def test_unmatched_matrix_falls_back_to_fresh_predict(self, tiny_target,
+                                                          tiny_malware):
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.01))
+        other = tiny_malware.features[:4]
+        attack.prime_original_predictions(other,
+                                          tiny_target.network.predict(other))
+        result = attack.run(tiny_malware.features)
+        np.testing.assert_array_equal(
+            result.original_predictions,
+            tiny_target.network.predict(tiny_malware.features))
+
+    def test_mismatched_prime_rejected(self, tiny_target, tiny_malware):
+        attack = JsmaAttack(tiny_target.network)
+        with pytest.raises(AttackError):
+            attack.prime_original_predictions(tiny_malware.features,
+                                              np.zeros(3, dtype=np.int64))

@@ -7,6 +7,7 @@ from repro.evaluation.robustness import (
     RobustnessReport,
     compare_robustness,
     minimal_evasion_budget,
+    robustness_from_trajectory,
 )
 from repro.exceptions import AttackError
 
@@ -76,3 +77,69 @@ class TestMinimalEvasionBudget:
                                   tiny_malware.features[:24], max_features=20)
         assert [row["model"] for row in rows] == ["target", "substitute"]
         assert all(0.0 <= row["evadable_fraction"] <= 1.0 for row in rows)
+
+
+class TestRobustnessFromTrajectory:
+    """The minimal-budget distribution as a view over one instrumented run."""
+
+    def _instrumented_run(self, network, features, budget):
+        from repro.attacks.constraints import PerturbationConstraints
+        from repro.attacks.jsma import JsmaAttack
+        from repro.attacks.trajectory import TrajectoryRecorder
+
+        gamma = min(1.0, budget / features.shape[1])
+        attack = JsmaAttack(network,
+                            PerturbationConstraints(theta=0.1, gamma=gamma),
+                            early_stop=True)
+        recorder = TrajectoryRecorder()
+        result = attack.run(features, recorder=recorder)
+        return recorder.trajectory, result
+
+    def test_full_view_matches_direct_computation(self, tiny_target, tiny_malware):
+        trajectory, result = self._instrumented_run(
+            tiny_target.network, tiny_malware.features, 20)
+        view = robustness_from_trajectory(trajectory, result)
+        direct = minimal_evasion_budget(tiny_target.network,
+                                        tiny_malware.features,
+                                        theta=0.1, max_features=20)
+        np.testing.assert_array_equal(view.minimal_features,
+                                      direct.minimal_features)
+
+    def test_truncated_view_matches_smaller_direct_runs(self, tiny_target,
+                                                        tiny_malware):
+        trajectory, result = self._instrumented_run(
+            tiny_target.network, tiny_malware.features, 20)
+        for budget in (1, 3, 8, 14):
+            view = robustness_from_trajectory(trajectory, result,
+                                              max_features=budget)
+            direct = minimal_evasion_budget(tiny_target.network,
+                                            tiny_malware.features,
+                                            theta=0.1, max_features=budget)
+            np.testing.assert_array_equal(view.minimal_features,
+                                          direct.minimal_features)
+            assert view.max_features == budget
+
+    def test_budget_beyond_trajectory_rejected(self, tiny_target, tiny_malware):
+        trajectory, result = self._instrumented_run(
+            tiny_target.network, tiny_malware.features, 10)
+        with pytest.raises(AttackError):
+            robustness_from_trajectory(trajectory, result, max_features=25)
+
+    def test_non_early_stop_trajectory_cannot_truncate(self, tiny_target,
+                                                       tiny_malware):
+        from repro.attacks.constraints import PerturbationConstraints
+        from repro.attacks.jsma import JsmaAttack
+        from repro.attacks.trajectory import TrajectoryRecorder
+
+        attack = JsmaAttack(tiny_target.network,
+                            PerturbationConstraints(theta=0.1, gamma=0.03),
+                            early_stop=False)
+        recorder = TrajectoryRecorder()
+        result = attack.run(tiny_malware.features, recorder=recorder)
+        # The full view is still exact (it reads the final result) ...
+        full = robustness_from_trajectory(recorder.trajectory, result)
+        assert full.max_features == recorder.trajectory.budget
+        # ... but truncation needs early-stop semantics.
+        with pytest.raises(AttackError):
+            robustness_from_trajectory(recorder.trajectory, result,
+                                       max_features=2)

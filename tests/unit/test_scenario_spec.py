@@ -44,6 +44,16 @@ class TestValidation:
         params["early_stop"] = True
         assert spec.attack_params == {"early_stop": False}
 
+    def test_sweep_strategy_is_validated(self):
+        spec = ScenarioSpec(sweep="gamma", sweep_strategy="per_point")
+        assert spec.sweep_strategy == "per_point"
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(sweep="gamma", sweep_strategy="memoized")
+
+    def test_sweep_strategy_requires_a_sweep(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(sweep_strategy="replay")
+
 
 class TestRoundTrip:
     def _rich_spec(self):
