@@ -132,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"shard {what} across N worker processes "
                               f"(default: 1 = serial; 0 = one per CPU)")
 
+    def add_grid_reliability(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="extra attempts a failed grid cell gets, with "
+                              "exponential backoff + jitter (default: 0 = "
+                              "fail fast)")
+        sub.add_argument("--shard-timeout", type=float, default=None,
+                         metavar="SECONDS", dest="shard_timeout",
+                         help="per-cell wall-clock budget; an attempt past it "
+                              "is abandoned and re-dispatched (default: none)")
+
     def add_serving_model(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--model", default="target",
                          help="registered model bundle to serve (default: target)")
@@ -194,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="print the full ScenarioReport as JSON")
     add_common(scenario_parser)
     add_workers(scenario_parser, "the specs (when --spec holds a JSON array)")
+    add_grid_reliability(scenario_parser)
 
     grid_parser = subparsers.add_parser(
         "run-grid", help="run an attacks x defenses grid of scenarios, "
@@ -214,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print the merged GridResult as JSON")
     add_common(grid_parser)
     add_workers(grid_parser, "the grid cells")
+    add_grid_reliability(grid_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="replay a synthetic request stream through the scoring "
@@ -234,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--rate", type=float, default=None,
                               help="replay rate in requests/s (default: as fast "
                                    "as the service accepts them)")
+    serve_parser.add_argument("--restart-budget", type=int, default=2,
+                              metavar="N", dest="restart_budget",
+                              help="dead fleet replicas to replace per replay "
+                                   "before giving up on restarts (default: 2)")
+    serve_parser.add_argument("--fault-plan", type=Path, default=None,
+                              metavar="FILE", dest="fault_plan",
+                              help="JSON FaultPlan to arm in the service/fleet "
+                                   "(chaos testing; see repro.reliability)")
 
     score_parser = subparsers.add_parser(
         "score", help="score one API log file and print the structured verdict")
@@ -328,6 +348,15 @@ def _serve_summary_lines(args, servable, verdicts, endpoint_line: str,
     return lines
 
 
+def _load_fault_plan(args):
+    """The ``--fault-plan`` file as a FaultPlan (None when the flag is unset)."""
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from repro.reliability import FaultPlan
+
+    return FaultPlan.from_json(args.fault_plan.read_text(encoding="utf-8"))
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import LoadGenerator, ModelRegistry, ScoringService, TrafficMix, replay
 
@@ -335,6 +364,14 @@ def _cmd_serve(args) -> int:
     context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,
                                 cache=cache, dtype=args.dtype)
     generator = LoadGenerator(context, mix=TrafficMix.parse(args.mix), seed=args.seed)
+    plan = _load_fault_plan(args)
+    retry_policy = None
+    if plan is not None:
+        from repro.reliability import RetryPolicy
+
+        # Chaos runs need recovery armed; keep backoff short for the CLI.
+        retry_policy = RetryPolicy(max_retries=2, base_delay_s=0.01,
+                                   seed=args.seed)
 
     if args.workers != 1:
         from repro.parallel import WorkerFleet
@@ -343,7 +380,9 @@ def _cmd_serve(args) -> int:
                             defense=args.defense, threshold=args.threshold,
                             context=context, cache=cache,
                             max_batch_size=args.batch_size,
-                            max_delay_ms=args.max_delay_ms)
+                            max_delay_ms=args.max_delay_ms,
+                            restart_budget=args.restart_budget,
+                            fault_plan=plan, retry_policy=retry_policy)
         requests = generator.generate(args.requests)
         verdicts, fleet_report = fleet.score_stream(requests,
                                                     rate_per_s=args.rate,
@@ -360,9 +399,14 @@ def _cmd_serve(args) -> int:
     registry = ModelRegistry(cache=cache)
     servable = registry.get(args.model, context=context)
     detector = _resolve_detector(args, servable, context, registry=registry)
+    injector = (plan.injector(scope={"worker": 0})
+                if plan is not None else None)
     service = ScoringService(servable, detector=detector, threshold=args.threshold,
                              max_batch_size=args.batch_size,
-                             max_delay_ms=args.max_delay_ms)
+                             max_delay_ms=args.max_delay_ms,
+                             retry_policy=retry_policy,
+                             isolate_poison=plan is not None,
+                             injector=injector)
     requests = generator.generate(args.requests)
 
     start = time.perf_counter()
@@ -377,6 +421,10 @@ def _cmd_serve(args) -> int:
                                  scored_suffix=f" in {service.n_batches} "
                                                f"fused batches")
     lines.append(report.render())
+    if injector is not None:
+        service.reliability.record_faults(injector.fired)
+    if not service.reliability.empty():
+        lines.append(service.reliability.render())
     _emit("serve", "\n".join(lines), args.out)
     return 0
 
@@ -458,7 +506,9 @@ def _run_specs_for_cli(specs, args):
     from repro.parallel import GridExecutor
 
     executor = GridExecutor(n_workers=args.workers or None,
-                            cache=_cache_from(args.cache_dir))
+                            cache=_cache_from(args.cache_dir),
+                            retries=getattr(args, "retries", 0),
+                            shard_timeout_s=getattr(args, "shard_timeout", None))
     result = executor.run(specs)
     if args.as_json:
         rendered = result.to_json()

@@ -17,17 +17,33 @@ versioned bundle, verdict *contents* (probability, label, model version) are
 identical to a single service's — only latency observations differ — and
 results are merged in submission order, so a fleet replay is deterministic
 apart from timing.
+
+Supervision
+-----------
+The dispatcher runs a claim/ack protocol: a replica announces
+``("claim", id, seq)`` the moment it pulls a request off the dispatch queue
+and the dispatcher clears the claim when that request's verdict arrives.
+When a replica dies — detected through its dying-gasp ``("crashed", ...)``
+message or a liveness poll — every claimed-but-unanswered request is
+re-enqueued exactly once (verdict dedup guards the race), and a replacement
+replica is launched while the restart budget lasts.  Every recovery event is
+counted in the :class:`~repro.reliability.report.ReliabilityReport` carried
+by the :class:`FleetReport`, and a :class:`~repro.reliability.faults.FaultPlan`
+can be armed to inject crashes, flush failures, latency spikes and
+malformed payloads at the ``fleet.dispatch`` / ``service.flush`` sites.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import time
-from collections import deque
 from dataclasses import asdict as dataclass_asdict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.config import ScaleProfile, get_profile
 from repro.exceptions import ParallelError
@@ -36,6 +52,14 @@ from repro.parallel.pool import (
     RemoteFailure,
     resolve_start_method,
     resolve_workers,
+)
+from repro.reliability import (
+    FaultInjector,
+    FaultPlan,
+    ReliabilityReport,
+    RetryPolicy,
+    WorkerCrash,
+    maybe_fire,
 )
 from repro.serving.stats import LatencyTracker, ThroughputReport
 from repro.utils.artifact_cache import ArtifactCache
@@ -46,8 +70,12 @@ __all__ = ["WorkerFleet", "FleetReport"]
 #: detector.  Populated only while worker processes are being launched.
 _FLEET_FORK_STATE: Dict[str, object] = {}
 
+#: How often the dispatcher wakes from the result queue to poll liveness.
+_LIVENESS_POLL_S = 0.25
 
-def _build_service(config: Mapping[str, object]):
+
+def _build_service(config: Mapping[str, object],
+                   injector: Optional[FaultInjector] = None):
     """Build one worker's ScoringService (inheriting fork state if present)."""
     from repro.serving.registry import ModelRegistry
     from repro.serving.service import ScoringService
@@ -63,10 +91,16 @@ def _build_service(config: Mapping[str, object]):
         registry = ModelRegistry(cache=cache)
         servable = registry.get(config["model"], context=context)
         detector = _build_detector(config, context, servable)
+    retry_payload = config.get("retry_policy")
     return ScoringService(
         servable, detector=detector, threshold=config["threshold"],
         max_batch_size=config["max_batch_size"],
-        max_delay_ms=config["max_delay_ms"])
+        max_delay_ms=config["max_delay_ms"],
+        retry_policy=(RetryPolicy.from_dict(retry_payload)
+                      if retry_payload is not None else None),
+        # A poison request must cost one error verdict, not one replica.
+        isolate_poison=True,
+        injector=injector)
 
 
 def _build_detector(config: Mapping[str, object], context: ExperimentContext,
@@ -86,27 +120,36 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
     """One replica: pull requests, micro-batch them, ship verdicts back.
 
     Protocol on ``result_queue``: ``("ready", id, None)`` after startup,
-    ``("verdicts", id, [(seq, Verdict), ...])`` per flush, ``("stats", id,
-    {...})`` after the stop sentinel, ``("failed", id, RemoteFailure)`` on
-    any error.  Verdicts carry the dispatcher-assigned sequence numbers so
-    the merge is submission-ordered regardless of which replica scored what.
+    ``("claim", id, seq)`` the moment a request is pulled off the dispatch
+    queue, ``("verdicts", id, [(seq, Verdict), ...])`` per flush,
+    ``("stats", id, {...})`` after the stop sentinel, ``("crashed", id,
+    reliability_dict)`` as the dying gasp of an injected crash, and
+    ``("failed", id, RemoteFailure)`` on any other error.  Verdicts carry
+    the dispatcher-assigned sequence numbers so the merge is
+    submission-ordered regardless of which replica scored what.
     """
+    from repro.serving.service import ScoringRequest
+
+    plan_payload = config.get("fault_plan")
+    injector = (FaultPlan.from_dict(plan_payload).injector(
+        scope={"worker": worker_id}) if plan_payload else None)
+    service = None
     try:
-        service = _build_service(config)
+        service = _build_service(config, injector=injector)
     except BaseException as error:  # noqa: BLE001 - shipped to the dispatcher
         result_queue.put(("failed", worker_id,
                           RemoteFailure.capture(f"worker {worker_id} startup",
                                                 error)))
         return
     result_queue.put(("ready", worker_id, None))
-    pending: deque = deque()
+    pending: Dict[str, int] = {}
 
     def emit(verdicts) -> None:
-        # MicroBatcher flushes preserve submission order, so the oldest
-        # pending sequence numbers pair with the flushed verdicts 1:1.
+        # Shed verdicts can overtake queued requests, so sequence numbers
+        # are paired by request id (unique per stream) rather than FIFO.
         if verdicts:
             result_queue.put(("verdicts", worker_id,
-                              [(pending.popleft(), verdict)
+                              [(pending.pop(verdict.request_id), verdict)
                                for verdict in verdicts]))
 
     try:
@@ -122,14 +165,40 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
             if item is None:
                 break
             seq, request, enqueued_at = item
-            pending.append(seq)
+            # Claim before any work: if this replica dies mid-request the
+            # dispatcher knows exactly which sequence numbers to re-enqueue.
+            result_queue.put(("claim", worker_id, seq))
+            fired = maybe_fire(injector, "fleet.dispatch",
+                               seq=seq, request_id=request.request_id)
+            if fired is not None and fired.action == "malformed":
+                request = ScoringRequest(
+                    request_id=request.request_id,
+                    payload=np.full(service.n_features, np.nan))
+            pending[request.request_id] = seq
             emit(service.submit(request, enqueued_at=enqueued_at))
         emit(service.drain())
+        reliability = service.reliability
+        if injector is not None:
+            reliability.record_faults(injector.fired)
         result_queue.put(("stats", worker_id, {
             "n_requests": service.tracker.count,
             "n_batches": service.n_batches,
             "latencies_ms": service.tracker.latencies_ms,
+            "reliability": reliability.as_dict(),
         }))
+    except WorkerCrash:
+        # Dying gasp: flush the claims/verdicts already queued (plus this
+        # crash's accounting) through the feeder thread, then die hard —
+        # the dispatcher must never see a half-written message.
+        reliability = service.reliability
+        if injector is not None:
+            reliability.record_faults(injector.fired)
+        try:
+            result_queue.put(("crashed", worker_id, reliability.as_dict()))
+            result_queue.close()
+            result_queue.join_thread()
+        finally:
+            os._exit(1)
     except BaseException as error:  # noqa: BLE001 - shipped to the dispatcher
         result_queue.put(("failed", worker_id,
                           RemoteFailure.capture(f"worker {worker_id}", error)))
@@ -143,6 +212,7 @@ class FleetReport:
     start_method: str
     throughput: ThroughputReport
     per_worker: List[Dict[str, object]] = field(default_factory=list)
+    reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation."""
@@ -151,6 +221,7 @@ class FleetReport:
             "start_method": self.start_method,
             "throughput": self.throughput.as_dict(),
             "per_worker": [dict(worker) for worker in self.per_worker],
+            "reliability": self.reliability.as_dict(),
         }
 
     def render(self) -> str:
@@ -162,6 +233,8 @@ class FleetReport:
                 f"  worker {worker['worker_id']}: {worker['n_requests']} requests "
                 f"in {worker['n_batches']} fused batches "
                 f"(mean {worker['mean_ms']:.3f}ms)")
+        if not self.reliability.empty():
+            lines.append(self.reliability.render())
         return "\n".join(lines)
 
 
@@ -186,8 +259,18 @@ class WorkerFleet:
     max_batch_size / max_delay_ms:
         Per-replica micro-batching knobs.
     timeout_s:
-        Dispatcher-side guard: how long to wait on worker results before
-        declaring the fleet wedged.
+        Dispatcher-side guard: how long the fleet may make *no progress*
+        before it is declared wedged.
+    restart_budget:
+        How many dead replicas one :meth:`score_stream` call may replace
+        before giving up on restarts (in-flight requests of a dead replica
+        are re-dispatched to the survivors regardless).
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` armed inside
+        every replica (sites ``fleet.dispatch`` and ``service.flush``).
+    retry_policy:
+        Optional :class:`~repro.reliability.retry.RetryPolicy` each replica
+        applies to failing micro-batch flushes.
     """
 
     def __init__(self, n_workers: Optional[int] = None, model: str = "target",
@@ -200,7 +283,10 @@ class WorkerFleet:
                  context: Optional[ExperimentContext] = None,
                  max_batch_size: int = 32, max_delay_ms: float = 2.0,
                  start_method: Optional[str] = None,
-                 timeout_s: float = 300.0) -> None:
+                 timeout_s: float = 300.0,
+                 restart_budget: int = 2,
+                 fault_plan: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.n_workers = resolve_workers(n_workers)
         self.model = model
         self.defense = defense
@@ -218,8 +304,18 @@ class WorkerFleet:
         self.max_delay_ms = float(max_delay_ms)
         self.start_method = resolve_start_method(start_method)
         self.timeout_s = float(timeout_s)
+        if restart_budget < 0:
+            raise ParallelError(
+                f"restart_budget must be >= 0, got {restart_budget}")
+        self.restart_budget = int(restart_budget)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         self.servable = None
-        self._processes: List = []
+        self._detector = None
+        self._mp_context = None
+        self._worker_config: Optional[Dict[str, object]] = None
+        self._next_worker_id = 0
+        self._processes: Dict[int, object] = {}
         self._task_queue = None
         self._result_queue = None
 
@@ -246,7 +342,31 @@ class WorkerFleet:
             "threshold": self.threshold,
             "max_batch_size": self.max_batch_size,
             "max_delay_ms": self.max_delay_ms,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan is not None else None),
+            "retry_policy": (self.retry_policy.to_dict()
+                             if self.retry_policy is not None else None),
         }
+
+    def _spawn_worker(self) -> int:
+        """Launch one replica (initial launch and supervised restarts)."""
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        try:
+            if self.start_method == "fork":
+                _FLEET_FORK_STATE["servable"] = self.servable
+                _FLEET_FORK_STATE["detector"] = self._detector
+            process = self._mp_context.Process(
+                target=_fleet_worker,
+                args=(worker_id, self._worker_config, self._task_queue,
+                      self._result_queue),
+                daemon=True)
+            process.start()
+        finally:
+            # fork snapshots state inside Process.start(); safe to unstage.
+            _FLEET_FORK_STATE.clear()
+        self._processes[worker_id] = process
+        return worker_id
 
     def start(self) -> "WorkerFleet":
         """Build the bundle once, then launch the worker replicas."""
@@ -256,35 +376,24 @@ class WorkerFleet:
 
         from repro.serving.registry import ModelRegistry
 
-        mp_context = multiprocessing.get_context(self.start_method)
+        self._mp_context = multiprocessing.get_context(self.start_method)
         context = self._dispatch_context()
         registry = ModelRegistry(cache=self.cache)
         self.servable = registry.get(self.model, context=context)
         config = self._config(context)
-        detector = _build_detector(config, context, self.servable)
-        self._task_queue = mp_context.Queue()
-        self._result_queue = mp_context.Queue()
-        try:
-            if self.start_method == "fork":
-                _FLEET_FORK_STATE["servable"] = self.servable
-                _FLEET_FORK_STATE["detector"] = detector
-            for worker_id in range(self.n_workers):
-                process = mp_context.Process(
-                    target=_fleet_worker,
-                    args=(worker_id, config, self._task_queue,
-                          self._result_queue),
-                    daemon=True)
-                process.start()
-                self._processes.append(process)
-            ready = 0
-            while ready < self.n_workers:
-                kind, worker_id, payload = self._get_result()
-                if kind == "failed":
-                    self.close()
-                    payload.raise_()
-                ready += kind == "ready"
-        finally:
-            _FLEET_FORK_STATE.clear()
+        self._detector = _build_detector(config, context, self.servable)
+        self._worker_config = config
+        self._task_queue = self._mp_context.Queue()
+        self._result_queue = self._mp_context.Queue()
+        for _ in range(self.n_workers):
+            self._spawn_worker()
+        ready = 0
+        while ready < self.n_workers:
+            kind, worker_id, payload = self._get_result()
+            if kind == "failed":
+                self.close()
+                payload.raise_()
+            ready += kind == "ready"
         return self
 
     def __enter__(self) -> "WorkerFleet":
@@ -293,13 +402,33 @@ class WorkerFleet:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Stop every worker (idempotent)."""
-        for process in self._processes:
+    def close(self, grace_s: float = 5.0) -> None:
+        """Stop every worker and release both queues (idempotent, bounded).
+
+        Joins run against one shared ``grace_s`` deadline and stragglers
+        are killed, so ``close()`` returns within ``grace_s`` plus a small
+        constant even when a worker died before :meth:`start` completed or
+        is wedged mid-request.  The queues are explicitly closed (feeder
+        threads cancelled) so a half-started fleet leaks neither processes
+        nor queue plumbing.
+        """
+        deadline = time.monotonic() + float(grace_s)
+        processes = list(self._processes.values())
+        for process in processes:
             if process.is_alive():
                 process.terminate()
-            process.join(timeout=5.0)
-        self._processes = []
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+        self._processes = {}
+        for queue in (self._task_queue, self._result_queue):
+            if queue is not None:
+                queue.cancel_join_thread()
+                queue.close()
+        self._task_queue = None
+        self._result_queue = None
 
     # ------------------------------------------------------------------ #
     # Replay
@@ -308,7 +437,7 @@ class WorkerFleet:
         try:
             return self._result_queue.get(timeout=self.timeout_s)
         except queue_module.Empty:
-            dead = [index for index, process in enumerate(self._processes)
+            dead = [worker_id for worker_id, process in self._processes.items()
                     if not process.is_alive()]
             # Tear the wedged fleet down before raising: leaving live workers
             # behind would make the next start() reuse their stale queues.
@@ -326,8 +455,12 @@ class WorkerFleet:
         order.  With ``rate_per_s`` the dispatcher paces enqueues like a
         Poisson arrival process (same schedule as the single-service
         :func:`~repro.serving.loadgen.replay`); otherwise requests are
-        enqueued back-to-back.  The stop sentinels end the worker processes,
-        so a subsequent call transparently starts a fresh fleet.
+        enqueued back-to-back.  Replica deaths are supervised: claimed
+        requests are re-dispatched exactly once and replacements launched
+        while the restart budget lasts.  Stop sentinels are sent only after
+        every verdict arrived (a redispatched request must never strand
+        behind a sentinel), so a subsequent call transparently starts a
+        fresh fleet.
         """
         if not requests:
             return [], FleetReport(n_workers=self.n_workers,
@@ -349,29 +482,106 @@ class WorkerFleet:
 
             offsets = _poisson_offsets(len(requests), rate_per_s, seed)
         started = time.perf_counter()
+        stamps: Dict[int, float] = {}
         for seq, request in enumerate(requests):
             if offsets is not None:
                 remaining = (started + offsets[seq]) - time.perf_counter()
                 if remaining > 0:
                     time.sleep(remaining)
-            self._task_queue.put((seq, request, time.perf_counter()))
-        for _ in self._processes:
-            self._task_queue.put(None)
+            stamps[seq] = time.perf_counter()
+            self._task_queue.put((seq, request, stamps[seq]))
 
         verdicts: Dict[int, object] = {}
-        worker_stats: Dict[int, Dict[str, object]] = {}
+        claims: Dict[int, Set[int]] = {worker_id: set()
+                                       for worker_id in self._processes}
+        reliability = ReliabilityReport()
+        restarts_remaining = self.restart_budget
         n_expected = len(requests)
-        while len(verdicts) < n_expected or len(worker_stats) < len(self._processes):
-            kind, worker_id, payload = self._get_result()
-            if kind == "failed":
+
+        def handle_death(worker_id: int) -> None:
+            nonlocal restarts_remaining
+            process = self._processes.pop(worker_id, None)
+            if process is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.kill()
+                    process.join(timeout=1.0)
+            lost = sorted(claims.pop(worker_id, set()) - set(verdicts))
+            for seq in lost:
+                self._task_queue.put((seq, requests[seq], stamps[seq]))
+            reliability.redispatches += len(lost)
+            if restarts_remaining > 0:
+                restarts_remaining -= 1
+                reliability.restarts += 1
+                claims[self._spawn_worker()] = set()
+            if not self._processes:
+                self.close()
+                raise ParallelError(
+                    "every fleet replica died and the restart budget is "
+                    f"exhausted ({len(verdicts)}/{n_expected} verdicts in)")
+
+        last_progress = time.monotonic()
+        while len(verdicts) < n_expected:
+            try:
+                kind, worker_id, payload = self._result_queue.get(
+                    timeout=_LIVENESS_POLL_S)
+            except queue_module.Empty:
+                # The result queue is drained, so any verdicts a dead
+                # replica managed to flush were already merged — claims
+                # minus verdicts is exactly the set to re-dispatch.
+                for dead_id in [worker_id for worker_id, process
+                                in list(self._processes.items())
+                                if not process.is_alive()]:
+                    handle_death(dead_id)
+                    last_progress = time.monotonic()
+                if time.monotonic() - last_progress > self.timeout_s:
+                    self.close()
+                    raise ParallelError(
+                        f"fleet made no progress for {self.timeout_s:.0f}s "
+                        f"({len(verdicts)}/{n_expected} verdicts in)")
+                continue
+            last_progress = time.monotonic()
+            if kind == "claim":
+                claims.setdefault(worker_id, set()).add(payload)
+            elif kind == "verdicts":
+                owned = claims.setdefault(worker_id, set())
+                for seq, verdict in payload:
+                    owned.discard(seq)
+                    if seq in verdicts:
+                        reliability.duplicates += 1
+                    else:
+                        verdicts[seq] = verdict
+            elif kind == "crashed":
+                reliability.merge(ReliabilityReport.from_dict(payload))
+                handle_death(worker_id)
+            elif kind == "ready":
+                claims.setdefault(worker_id, set())
+            elif kind == "failed":
                 self.close()
                 payload.raise_()
-            elif kind == "verdicts":
-                for seq, verdict in payload:
-                    verdicts[seq] = verdict
-            elif kind == "stats":
-                worker_stats[worker_id] = payload
         elapsed = time.perf_counter() - started
+
+        for _ in self._processes:
+            self._task_queue.put(None)
+        worker_stats: Dict[int, Dict[str, object]] = {}
+        while len(worker_stats) < len(self._processes):
+            kind, worker_id, payload = self._get_result()
+            if kind == "stats":
+                worker_stats[worker_id] = payload
+            elif kind == "verdicts":
+                reliability.duplicates += sum(
+                    seq in verdicts for seq, _ in payload)
+            elif kind == "crashed":
+                # Crashed during drain: all verdicts are already in, so
+                # nothing is lost — fold its accounting and stop waiting
+                # for its stats.
+                reliability.merge(ReliabilityReport.from_dict(payload))
+                process = self._processes.pop(worker_id, None)
+                if process is not None:
+                    process.join(timeout=5.0)
+            elif kind == "failed":
+                self.close()
+                payload.raise_()
         self.close()  # workers have already exited on the sentinel; reap them
 
         tracker = LatencyTracker()
@@ -380,6 +590,8 @@ class WorkerFleet:
             stats = worker_stats[worker_id]
             latencies = stats["latencies_ms"]
             tracker.extend(latencies)
+            reliability.merge(ReliabilityReport.from_dict(
+                stats.get("reliability")))
             per_worker.append({
                 "worker_id": worker_id,
                 "n_requests": stats["n_requests"],
@@ -390,7 +602,8 @@ class WorkerFleet:
         report = FleetReport(n_workers=self.n_workers,
                              start_method=self.start_method,
                              throughput=tracker.report(elapsed),
-                             per_worker=per_worker)
+                             per_worker=per_worker,
+                             reliability=reliability)
         return [verdicts[seq] for seq in range(n_expected)], report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -17,6 +17,19 @@ scenario's payload is a deterministic function of (spec, scale, seed,
 dtype): under float64 a parallel grid is byte-identical to a serial one
 (``report.to_json(include_timing=False)``; wall-times are the only
 non-deterministic field).  The shuffled-shard regression tests pin this.
+
+Reliability
+-----------
+``retries``/``shard_timeout_s`` supervise individual cells: a failed cell
+is re-run with exponential backoff + deterministic jitter (the jitter
+stream is keyed on the cell index, so concurrent retriers spread out
+reproducibly), and a cell that exceeds the per-shard timeout is re-
+dispatched — the hung attempt's eventual result is discarded, since a pool
+worker cannot be killed mid-task.  Because a retried cell recomputes the
+same deterministic payload, retries never break the byte-identical
+contract.  A :class:`~repro.reliability.faults.FaultPlan` can arm the
+``grid.cell`` site (context: ``cell``, ``attempt``) to exercise these
+paths deterministically.
 """
 
 from __future__ import annotations
@@ -33,6 +46,12 @@ from repro.parallel.pool import (
     RemoteFailure,
     resolve_start_method,
     resolve_workers,
+)
+from repro.reliability import (
+    FaultPlan,
+    ReliabilityReport,
+    RetryPolicy,
+    maybe_fire,
 )
 from repro.scenarios.spec import ScenarioSpec
 from repro.utils.artifact_cache import ArtifactCache
@@ -84,6 +103,9 @@ def _init_worker(payload: Mapping[str, object]) -> None:
     _WORKER["cache_root"] = payload.get("cache_root")
     _WORKER["shared"] = payload.get("shared")
     _WORKER["contexts"] = {}
+    plan_payload = payload.get("fault_plan")
+    _WORKER["injector"] = (FaultPlan.from_dict(plan_payload).injector()
+                           if plan_payload else None)
     # Fork children see the parent's staged live objects; spawn children get
     # an empty mapping and fall back to cache-backed rebuilds.
     if _FORK_STATE.get("context") is not None:
@@ -119,16 +141,25 @@ def _worker_context(spec: ScenarioSpec) -> ExperimentContext:
     return contexts[key]
 
 
-def _run_cell(task: Tuple[int, ScenarioSpec]):
-    """Run one grid cell in the worker; failures travel back as data."""
+def _run_cell(task: Tuple[int, ScenarioSpec, int]):
+    """Run one grid cell in the worker; failures travel back as data.
+
+    ``task`` carries the retry attempt number so an armed ``grid.cell``
+    fault spec can target a specific attempt (``where={"cell": 2,
+    "attempt": 0}``) — hit counters are per-process, so the attempt number
+    is the only trigger that stays deterministic across pool workers.
+    """
     from repro.scenarios.runner import run_scenario
 
-    index, spec = task
+    index, spec, attempt = task
     try:
+        maybe_fire(_WORKER.get("injector"), "grid.cell",
+                   cell=index, attempt=attempt)
         return index, run_scenario(spec, context=_worker_context(spec))
     except BaseException as error:  # noqa: BLE001 - shipped to the parent
         return index, RemoteFailure.capture(
-            where=f"cell {index} ({spec.label or spec.describe()})", error=error)
+            where=f"cell {index} ({spec.label or spec.describe()}, "
+                  f"attempt {attempt})", error=error)
 
 
 @dataclass
@@ -139,6 +170,7 @@ class GridResult:
     elapsed_s: float = 0.0
     n_workers: int = 1
     start_method: Optional[str] = None  #: None means serial in-process
+    reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -160,6 +192,7 @@ class GridResult:
             "n_cells": len(self.reports),
             "n_workers": self.n_workers,
             "start_method": self.start_method,
+            "reliability": self.reliability.as_dict(),
             "reports": [report.to_dict(include_timing=include_timing)
                         for report in self.reports],
         }
@@ -236,18 +269,45 @@ class GridExecutor:
         Build the corpus/models each spec needs once in the parent before
         forking (or, under ``spawn``, into the cache) so workers never
         duplicate training.  Disable only to measure cold-worker behaviour.
+    retries:
+        Extra attempts a failed cell gets before its failure is final
+        (``0``, the default, preserves fail-fast semantics).
+    shard_timeout_s:
+        Per-cell wall-clock budget in the pooled path; an attempt past the
+        budget is abandoned and re-dispatched (counted as a timeout).
+        ``None`` disables the watchdog.
+    retry_policy:
+        Backoff schedule for retries; defaults to
+        ``RetryPolicy(max_retries=retries)``.  When given, its
+        ``max_retries`` wins over ``retries``.
+    fault_plan:
+        Optional :class:`~repro.reliability.faults.FaultPlan` arming the
+        ``grid.cell`` site in every worker (and in the serial path).
     """
 
     def __init__(self, n_workers: Optional[int] = None,
                  cache: Optional[Union[ArtifactCache, str, Path]] = None,
                  start_method: Optional[str] = None,
-                 prewarm: bool = True) -> None:
+                 prewarm: bool = True,
+                 retries: int = 0,
+                 shard_timeout_s: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.n_workers = resolve_workers(n_workers)
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         self.cache = cache
         self.start_method = resolve_start_method(start_method)
         self.prewarm = prewarm
+        if retries < 0:
+            raise ParallelError(f"retries must be >= 0, got {retries}")
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ParallelError(
+                f"shard_timeout_s must be > 0, got {shard_timeout_s}")
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy(max_retries=retries))
+        self.shard_timeout_s = shard_timeout_s
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -268,26 +328,32 @@ class GridExecutor:
                               start_method=None)
         n_workers = min(self.n_workers, len(specs))
         started = time.perf_counter()
+        reliability = ReliabilityReport()
         if n_workers == 1:
-            reports = self._run_serial(specs, context)
+            reports = self._run_serial(specs, context, reliability)
             return GridResult(reports=reports,
                               elapsed_s=time.perf_counter() - started,
-                              n_workers=1, start_method=None)
-        reports = self._run_pool(specs, context, n_workers)
+                              n_workers=1, start_method=None,
+                              reliability=reliability)
+        reports = self._run_pool(specs, context, n_workers, reliability)
         return GridResult(reports=reports,
                           elapsed_s=time.perf_counter() - started,
-                          n_workers=n_workers, start_method=self.start_method)
+                          n_workers=n_workers, start_method=self.start_method,
+                          reliability=reliability)
 
     # ------------------------------------------------------------------ #
     # Serial baseline
     # ------------------------------------------------------------------ #
     def _run_serial(self, specs: Sequence[ScenarioSpec],
-                    context: Optional[ExperimentContext]) -> List:
+                    context: Optional[ExperimentContext],
+                    reliability: ReliabilityReport) -> List:
         from repro.scenarios.runner import run_scenario
 
+        injector = (self.fault_plan.injector()
+                    if self.fault_plan is not None else None)
         contexts: Dict[Tuple, ExperimentContext] = {}
         reports = []
-        for spec in specs:
+        for cell_index, spec in enumerate(specs):
             if context is not None:
                 cell_context = context
             else:
@@ -295,7 +361,22 @@ class GridExecutor:
                 if key not in contexts:
                     contexts[key] = _build_context(spec, self.cache)
                 cell_context = contexts[key]
-            reports.append(run_scenario(spec, context=cell_context))
+            attempt = 0
+            while True:
+                try:
+                    maybe_fire(injector, "grid.cell",
+                               cell=cell_index, attempt=attempt)
+                    reports.append(run_scenario(spec, context=cell_context))
+                    break
+                except Exception:
+                    if attempt >= self.retry_policy.max_retries:
+                        raise
+                    reliability.cell_retries += 1
+                    time.sleep(self.retry_policy.delay(attempt,
+                                                       token=cell_index))
+                    attempt += 1
+        if injector is not None:
+            reliability.record_faults(injector.fired)
         return reports
 
     # ------------------------------------------------------------------ #
@@ -307,11 +388,14 @@ class GridExecutor:
         return str(self.cache.root) if self.cache is not None else None
 
     def _run_pool(self, specs: Sequence[ScenarioSpec],
-                  context: Optional[ExperimentContext], n_workers: int) -> List:
+                  context: Optional[ExperimentContext], n_workers: int,
+                  reliability: ReliabilityReport) -> List:
         import multiprocessing
 
         mp_context = multiprocessing.get_context(self.start_method)
         payload: Dict[str, object] = {"cache_root": self._cache_root(context)}
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.to_dict()
         try:
             if context is not None:
                 if self.prewarm:
@@ -341,22 +425,80 @@ class GridExecutor:
             collected: Dict[int, object] = {}
             with mp_context.Pool(processes=n_workers, initializer=_init_worker,
                                  initargs=(payload,)) as pool:
-                for index, outcome in pool.imap_unordered(
-                        _run_cell, list(enumerate(specs)), chunksize=1):
-                    collected[index] = outcome
+                self._supervise(pool, specs, collected, reliability)
         finally:
             _FORK_STATE.clear()
 
-        failures = [outcome for outcome in collected.values()
-                    if isinstance(outcome, RemoteFailure)]
-        if failures:
-            failures[0].raise_()
-        if len(collected) != len(specs):
+        if len(collected) != len(specs):  # pragma: no cover - defensive
             missing = sorted(set(range(len(specs))) - set(collected))
             raise ParallelError(
                 f"pool returned {len(collected)}/{len(specs)} cells; "
                 f"missing indices {missing}")
         return [collected[index] for index in range(len(specs))]
+
+    def _supervise(self, pool, specs: Sequence[ScenarioSpec],
+                   collected: Dict[int, object],
+                   reliability: ReliabilityReport) -> None:
+        """Dispatch every cell via ``apply_async`` and supervise attempts.
+
+        A failed attempt is rescheduled after the policy's backoff; an
+        attempt past ``shard_timeout_s`` is abandoned (a pool worker cannot
+        be killed mid-task, so the stale attempt's eventual result is
+        simply dropped) and rescheduled the same way.  The first cell to
+        exhaust its attempts raises.
+        """
+        max_retries = self.retry_policy.max_retries
+        inflight: Dict[int, object] = {}       # cell -> live AsyncResult
+        deadlines: Dict[int, float] = {}       # cell -> abandon-at time
+        attempts: Dict[int, int] = {}          # cell -> current attempt
+        backoff: Dict[int, float] = {}         # cell -> retry-due time
+
+        def dispatch(cell: int, attempt: int) -> None:
+            attempts[cell] = attempt
+            inflight[cell] = pool.apply_async(
+                _run_cell, ((cell, specs[cell], attempt),))
+            if self.shard_timeout_s is not None:
+                deadlines[cell] = time.monotonic() + self.shard_timeout_s
+
+        def reschedule(cell: int, failure: Optional[RemoteFailure]) -> None:
+            attempt = attempts[cell]
+            if attempt >= max_retries:
+                if failure is not None:
+                    failure.raise_()
+                raise ParallelError(
+                    f"cell {cell} ({specs[cell].label or specs[cell].describe()}) "
+                    f"timed out after {attempt + 1} attempts of "
+                    f"{self.shard_timeout_s}s each")
+            if failure is not None:
+                reliability.cell_retries += 1
+            backoff[cell] = time.monotonic() + self.retry_policy.delay(
+                attempt, token=cell)
+
+        for cell in range(len(specs)):
+            dispatch(cell, 0)
+        while inflight or backoff:
+            now = time.monotonic()
+            for cell in [cell for cell, due in backoff.items() if due <= now]:
+                del backoff[cell]
+                dispatch(cell, attempts[cell] + 1)
+            progressed = False
+            for cell, async_result in list(inflight.items()):
+                if async_result.ready():
+                    del inflight[cell]
+                    deadlines.pop(cell, None)
+                    _, outcome = async_result.get()
+                    if isinstance(outcome, RemoteFailure):
+                        reschedule(cell, outcome)
+                    else:
+                        collected[cell] = outcome
+                        progressed = True
+                elif cell in deadlines and now > deadlines[cell]:
+                    del inflight[cell]
+                    del deadlines[cell]
+                    reliability.cell_timeouts += 1
+                    reschedule(cell, None)
+            if not progressed and (inflight or backoff):
+                time.sleep(0.005)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"GridExecutor(n_workers={self.n_workers}, "

@@ -1,0 +1,119 @@
+"""Structured accounting of every reliability event in a run.
+
+A :class:`ReliabilityReport` is the ledger the chaos benchmark asserts
+against: each supervision or degradation event increments exactly one
+counter, so after a run under a known :class:`~repro.reliability.faults.FaultPlan`
+the counts must match the plan exactly — that is the dependability claim.
+Reports merge associatively (fleet dispatchers fold per-replica reports
+into one) and serialise to plain dicts for fleet stats messages and
+``BENCH_reliability.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["ReliabilityReport"]
+
+
+@dataclass
+class ReliabilityReport:
+    """Counters for every fault seen and every recovery action taken.
+
+    Attributes
+    ----------
+    restarts:
+        Fleet replicas restarted after a detected death.
+    redispatches:
+        In-flight requests re-enqueued after their replica died.
+    flush_retries:
+        Micro-batch flushes re-attempted under a retry policy.
+    isolated:
+        Poison requests bisected out of a batch into ``error`` verdicts.
+    sheds:
+        Requests answered with ``status="shed"`` instead of being scored.
+    fallbacks:
+        Defended endpoints that fell back to the undefended fast path.
+    breaker_trips:
+        Circuit-breaker open transitions.
+    cell_retries:
+        Grid cells re-run after a failure.
+    cell_timeouts:
+        Grid cells abandoned after exceeding the per-shard timeout.
+    stale_locks_swept:
+        Dead-owner cache lock files removed instead of waited on.
+    duplicates:
+        Duplicate verdicts discarded by the dispatcher (must stay 0).
+    lost:
+        Requests never answered (must stay 0).
+    faults:
+        Injected faults actually fired, per site.
+    """
+
+    restarts: int = 0
+    redispatches: int = 0
+    flush_retries: int = 0
+    isolated: int = 0
+    sheds: int = 0
+    fallbacks: int = 0
+    breaker_trips: int = 0
+    cell_retries: int = 0
+    cell_timeouts: int = 0
+    stale_locks_swept: int = 0
+    duplicates: int = 0
+    lost: int = 0
+    faults: Dict[str, int] = field(default_factory=dict)
+
+    _COUNTERS = ("restarts", "redispatches", "flush_retries", "isolated",
+                 "sheds", "fallbacks", "breaker_trips", "cell_retries",
+                 "cell_timeouts", "stale_locks_swept", "duplicates", "lost")
+
+    def merge(self, other: "ReliabilityReport") -> "ReliabilityReport":
+        """Fold ``other``'s counts into this report (returns self)."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for site, count in other.faults.items():
+            self.faults[site] = self.faults.get(site, 0) + count
+        return self
+
+    def record_faults(self, fired: Mapping[str, int]) -> None:
+        """Fold an injector's per-site fired counts into :attr:`faults`."""
+        for site, count in fired.items():
+            self.faults[site] = self.faults.get(site, 0) + count
+
+    def total_events(self) -> int:
+        """Every recovery/degradation event counted (faults excluded)."""
+        return sum(getattr(self, name) for name in self._COUNTERS)
+
+    def empty(self) -> bool:
+        """True when nothing at all happened (clean, fault-free run)."""
+        return self.total_events() == 0 and not self.faults
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for stats messages and benchmark JSON."""
+        payload: Dict[str, object] = {name: getattr(self, name)
+                                      for name in self._COUNTERS}
+        payload["faults"] = dict(self.faults)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Mapping[str, object]]) -> "ReliabilityReport":
+        """Inverse of :meth:`as_dict`; ``None`` yields an empty report."""
+        payload = dict(payload or {})
+        faults = dict(payload.pop("faults", {}))
+        counters = {name: int(payload.get(name, 0)) for name in cls._COUNTERS}
+        return cls(faults=faults, **counters)
+
+    def render(self) -> str:
+        """Human-readable summary for CLI output."""
+        lines: List[str] = ["reliability:"]
+        pairs = [(name.replace("_", " "), getattr(self, name))
+                 for name in self._COUNTERS]
+        active = [f"{label}={value}" for label, value in pairs if value]
+        lines.append("  " + (", ".join(active) if active else "no events"))
+        if self.faults:
+            fired = ", ".join(f"{site}={count}"
+                              for site, count in sorted(self.faults.items()))
+            lines.append(f"  faults fired: {fired}")
+        return "\n".join(lines)

@@ -41,11 +41,35 @@ class MicroBatcher(Generic[T, R]):
         forces a flush.  ``0`` makes every :meth:`poll` flush.
     clock:
         Monotonic time source in seconds (injectable for tests).
+    retry_policy:
+        Optional :class:`~repro.reliability.retry.RetryPolicy`; each flush
+        attempt that fails with an ``Exception`` is re-attempted with
+        backoff before the failure is treated as final.  ``None`` (the
+        default) preserves the single-attempt behaviour.
+    error_fn:
+        Optional poison-isolation hook ``(item, error) -> result``.  When
+        set, a batch whose (retried) flush still fails is *bisected*:
+        halves are flushed independently until the failure is pinned to a
+        single item, which is answered by ``error_fn`` instead of wedging
+        the batch.  ``None`` (the default) preserves the restore-and-raise
+        behaviour.
+    sleep:
+        Sleep used between retry attempts (injectable for tests).
+    on_retry:
+        Optional callback ``(attempt, error)`` fired before each re-attempt.
+    on_isolate:
+        Optional callback ``(item, error)`` fired when a poison item is
+        isolated into an ``error_fn`` result.
     """
 
     def __init__(self, flush_fn: Callable[[List[T]], Sequence[R]],
                  max_batch_size: int = 32, max_delay_ms: float = 5.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 retry_policy=None,
+                 error_fn: Optional[Callable[[T, Exception], R]] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 on_retry: Optional[Callable[[int, Exception], None]] = None,
+                 on_isolate: Optional[Callable[[T, Exception], None]] = None) -> None:
         if max_batch_size < 1:
             raise ServingError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_delay_ms < 0:
@@ -54,10 +78,17 @@ class MicroBatcher(Generic[T, R]):
         self.max_batch_size = int(max_batch_size)
         self.max_delay_ms = float(max_delay_ms)
         self._clock = clock
+        self._retry_policy = retry_policy
+        self._error_fn = error_fn
+        self._sleep = sleep
+        self._on_retry = on_retry
+        self._on_isolate = on_isolate
         self._pending: List[T] = []
         self._oldest_enqueued_at: Optional[float] = None
         self.n_submitted = 0
         self.n_flushes = 0
+        self.n_retries = 0
+        self.n_isolated = 0
         self.batch_sizes: List[int] = []
 
     @property
@@ -115,29 +146,67 @@ class MicroBatcher(Generic[T, R]):
     def flush(self) -> List[R]:
         """Flush whatever is pending (no-op on an empty batch).
 
-        If ``flush_fn`` raises, the batch is restored to the front of the
-        queue before the exception propagates — one bad item must not
-        silently destroy every other queued item; the caller can take the
-        items back with :meth:`clear`, drop the offender and resubmit the
-        rest.
+        If the flush fails for good — after any configured retries, and
+        with no ``error_fn`` to bisect the poison item out — the batch is
+        restored to the front of the queue before the exception propagates:
+        one bad item must not silently destroy every other queued item; the
+        caller can take the items back with :meth:`clear`, drop the
+        offender and resubmit the rest.
         """
         if not self._pending:
             return []
         batch, self._pending = self._pending, []
         oldest, self._oldest_enqueued_at = self._oldest_enqueued_at, None
         try:
-            results = list(self._flush_fn(batch))
+            results = self._flush_batch(batch)
             if len(results) != len(batch):
                 raise ServingError(
                     f"flush_fn returned {len(results)} results for a batch of "
                     f"{len(batch)}")
-        except Exception:
+        except BaseException:
+            # Restores on injected WorkerCrash (BaseException) too, so a
+            # crashing replica never eats requests it had not yet scored.
             self._pending = batch + self._pending
             self._oldest_enqueued_at = oldest
             raise
         self.n_flushes += 1
         self.batch_sizes.append(len(batch))
         return results
+
+    def _attempt(self, batch: List[T]) -> List[R]:
+        """One logical flush of ``batch``, retried under the policy if set."""
+        if self._retry_policy is None:
+            return list(self._flush_fn(batch))
+
+        def note_retry(attempt: int, error: Exception) -> None:
+            self.n_retries += 1
+            if self._on_retry is not None:
+                self._on_retry(attempt, error)
+
+        return list(self._retry_policy.run(
+            lambda: self._flush_fn(batch), sleep=self._sleep,
+            on_retry=note_retry))
+
+    def _flush_batch(self, batch: List[T]) -> List[R]:
+        """Flush ``batch``, bisecting persistent failures down to one item.
+
+        Only ``Exception`` failures are handled — a ``BaseException`` crash
+        propagates immediately.  Result order always matches item order
+        because halves are flushed left-to-right.
+        """
+        try:
+            return self._attempt(batch)
+        except Exception as error:
+            if self._error_fn is None:
+                raise
+            if len(batch) == 1:
+                self.n_isolated += 1
+                if self._on_isolate is not None:
+                    self._on_isolate(batch[0], error)
+                return [self._error_fn(batch[0], error)]
+            midpoint = len(batch) // 2
+            return (self._flush_batch(batch[:midpoint]) +
+                    self._flush_batch(batch[midpoint:]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MicroBatcher(max_batch_size={self.max_batch_size}, "

@@ -17,6 +17,25 @@ Two endpoint flavours coexist over the same bundle:
 Per-request latencies accumulate in a
 :class:`~repro.serving.stats.LatencyTracker` so the ``serve`` CLI and the
 benchmark harness report p50/p95/throughput from real observations.
+
+Reliability hooks (all optional, all off by default — the fault-free path
+is unchanged):
+
+* a :class:`~repro.reliability.retry.RetryPolicy` re-attempts failing
+  flushes with backoff; a :class:`~repro.reliability.retry.CircuitBreaker`
+  observes flush outcomes and, while open, sheds arriving submissions with
+  an explicit ``Verdict(status="shed")`` instead of queueing them past the
+  flush-deadline SLO;
+* ``isolate_poison`` arms the micro-batcher's bisection path so a single
+  poison request becomes a ``Verdict(status="error")`` instead of wedging
+  the batch;
+* ``fallback_after`` demotes a repeatedly-failing defended endpoint to the
+  undefended fast path (verdicts then carry ``defense=None``);
+* every such event is counted in :attr:`ScoringService.reliability`, the
+  structured ledger the chaos benchmark asserts against.
+
+Shed and error verdicts carry ``label=-1`` and are *not* recorded in the
+latency tracker — throughput statistics describe scored requests only.
 """
 
 from __future__ import annotations
@@ -32,6 +51,8 @@ from repro.config import CLASS_MALWARE, CLASS_NAMES
 from repro.defenses.base import DefendedDetector
 from repro.exceptions import ServingError
 from repro.features.extraction import CountSource
+from repro.reliability import (CircuitBreaker, FaultInjector, ReliabilityReport,
+                               RetryPolicy, maybe_fire)
 from repro.serving.batcher import MicroBatcher
 from repro.serving.registry import ServableModel
 from repro.serving.stats import LatencyTracker, ThroughputReport
@@ -50,7 +71,13 @@ class ScoringRequest:
 
 @dataclass(frozen=True)
 class Verdict:
-    """The structured result the service returns for one request."""
+    """The structured result the service returns for one request.
+
+    ``status`` distinguishes how the verdict was produced: ``"ok"`` for a
+    scored request, ``"shed"`` for one refused under load-shedding, and
+    ``"error"`` for a poison request isolated out of a batch.  Non-``ok``
+    verdicts carry ``label=-1`` and a zero probability.
+    """
 
     request_id: str
     malware_probability: float
@@ -61,11 +88,17 @@ class Verdict:
     model_version: str
     defense: Optional[str]
     latency_ms: float
+    status: str = "ok"
 
     @property
     def is_malware(self) -> bool:
         """Whether the request was flagged as malware."""
         return self.label == CLASS_MALWARE
+
+    @property
+    def is_scored(self) -> bool:
+        """Whether the request was actually scored (not shed / errored)."""
+        return self.status == "ok"
 
     def as_dict(self) -> dict:
         """JSON-serialisable representation."""
@@ -94,23 +127,66 @@ class ScoringService:
         Micro-batching knobs for the online :meth:`submit` path.
     clock:
         Time source in seconds (injectable for deterministic tests).
+    retry_policy:
+        Optional :class:`~repro.reliability.retry.RetryPolicy` re-attempting
+        failing flushes with backoff.
+    circuit_breaker:
+        Optional :class:`~repro.reliability.retry.CircuitBreaker` fed every
+        flush outcome; while open, :meth:`submit` sheds instead of queueing.
+    isolate_poison:
+        Arm the micro-batcher's bisection path: a request whose flush keeps
+        failing is answered with ``Verdict(status="error")`` instead of the
+        default restore-and-raise.
+    fallback_after:
+        After this many *consecutive* defended-decision failures the
+        service permanently falls back to the undefended fast path
+        (``None`` disables fallback).
+    injector:
+        Optional :class:`~repro.reliability.faults.FaultInjector`; when
+        armed, each flush announces itself at the ``service.flush`` site.
     """
 
     def __init__(self, servable: ServableModel,
                  detector: Optional[DefendedDetector] = None,
                  threshold: float = 0.5,
                  max_batch_size: int = 32, max_delay_ms: float = 2.0,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 circuit_breaker: Optional[CircuitBreaker] = None,
+                 isolate_poison: bool = False,
+                 fallback_after: Optional[int] = None,
+                 injector: Optional[FaultInjector] = None,
+                 retry_sleep: Callable[[float], None] = time.sleep) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ServingError(f"threshold must lie in [0, 1], got {threshold}")
+        if fallback_after is not None and fallback_after < 1:
+            raise ServingError(
+                f"fallback_after must be >= 1, got {fallback_after}")
         self.servable = servable
         self.detector = detector
         self.threshold = float(threshold)
         self._clock = clock
         self.tracker = LatencyTracker()
+        self.reliability = ReliabilityReport()
+        self._breaker = circuit_breaker
+        self._injector = injector
+        self._fallback_after = fallback_after
+        self._defense_failures = 0
+        self._fallen_back = False
+
+        def note_retry(attempt: int, error: Exception) -> None:
+            self.reliability.flush_retries += 1
+
+        def note_isolate(item: Tuple[ScoringRequest, float],
+                         error: Exception) -> None:
+            self.reliability.isolated += 1
+
         self._batcher: MicroBatcher[Tuple[ScoringRequest, float], Verdict] = MicroBatcher(
             self._flush_items, max_batch_size=max_batch_size,
-            max_delay_ms=max_delay_ms, clock=clock)
+            max_delay_ms=max_delay_ms, clock=clock,
+            retry_policy=retry_policy,
+            error_fn=self._error_verdict if isolate_poison else None,
+            sleep=retry_sleep, on_retry=note_retry, on_isolate=note_isolate)
         self._request_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -128,8 +204,19 @@ class ScoringService:
 
     @property
     def defense_name(self) -> Optional[str]:
-        """Name of the wrapping defense (None for the undefended endpoint)."""
-        return self.detector.name if self.detector is not None else None
+        """Name of the wrapping defense (None for the undefended endpoint).
+
+        Also ``None`` after a reliability fallback demoted the endpoint —
+        verdicts must advertise the decision path actually taken.
+        """
+        if self.detector is None or self._fallen_back:
+            return None
+        return self.detector.name
+
+    @property
+    def fell_back(self) -> bool:
+        """Whether the defended endpoint fell back to the undefended path."""
+        return self._fallen_back
 
     @property
     def pending(self) -> int:
@@ -242,9 +329,24 @@ class ScoringService:
     # Scoring core (one fused predict per batch)
     # ------------------------------------------------------------------ #
     def _decide(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """(malware probabilities, hard labels) from one fused model call."""
-        if self.detector is not None:
-            probabilities, labels = self.detector.decide(features)
+        """(malware probabilities, hard labels) from one fused model call.
+
+        A failing defended decision counts toward ``fallback_after``; once
+        the budget is exhausted the endpoint permanently falls back to the
+        undefended fast path (the failure still propagates so the caller's
+        retry policy re-attempts — the retry then takes the fallback path).
+        """
+        if self.detector is not None and not self._fallen_back:
+            try:
+                probabilities, labels = self.detector.decide(features)
+            except Exception:
+                self._defense_failures += 1
+                if (self._fallback_after is not None
+                        and self._defense_failures >= self._fallback_after):
+                    self._fallen_back = True
+                    self.reliability.fallbacks += 1
+                raise
+            self._defense_failures = 0
         else:
             probabilities = self.servable.model.malware_confidence(features)
             labels = (probabilities > self.threshold).astype(np.int64)
@@ -283,9 +385,48 @@ class ScoringService:
         return verdicts
 
     def _flush_items(self, items: List[Tuple[ScoringRequest, float]]) -> List[Verdict]:
-        requests = [request for request, _ in items]
-        enqueued = [started for _, started in items]
-        return self._verdicts_for(requests, enqueued)
+        """One flush attempt: injector site, scoring, breaker accounting."""
+        try:
+            maybe_fire(self._injector, "service.flush", n=len(items))
+            requests = [request for request, _ in items]
+            enqueued = [started for _, started in items]
+            verdicts = self._verdicts_for(requests, enqueued)
+        except Exception:
+            if self._breaker is not None:
+                self._breaker.record_failure()
+                self.reliability.breaker_trips = self._breaker.n_trips
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        return verdicts
+
+    # ------------------------------------------------------------------ #
+    # Degraded verdicts (shed / error) — never recorded in the tracker
+    # ------------------------------------------------------------------ #
+    def _degraded_verdict(self, request: ScoringRequest, started: float,
+                          status: str) -> Verdict:
+        return Verdict(
+            request_id=request.request_id,
+            malware_probability=0.0,
+            label=-1,
+            verdict=status,
+            threshold=self.threshold,
+            model_name=self.servable.name,
+            model_version=self.servable.version,
+            defense=self.defense_name,
+            latency_ms=max(0.0, (self._clock() - started) * 1000.0),
+            status=status,
+        )
+
+    def _error_verdict(self, item: Tuple[ScoringRequest, float],
+                       error: Exception) -> Verdict:
+        """The batcher's poison-isolation hook: one bad request, answered."""
+        request, started = item
+        return self._degraded_verdict(request, started, "error")
+
+    def _should_shed(self) -> bool:
+        """Whether an arriving submission must be refused right now."""
+        return self._breaker is not None and not self._breaker.allow()
 
     # ------------------------------------------------------------------ #
     # Public scoring API
@@ -314,9 +455,17 @@ class ScoringService:
         backdates the latency measurement to when the request entered an
         upstream queue — the :class:`~repro.parallel.fleet.WorkerFleet`
         dispatcher uses it so fleet latencies include queueing delay.
+
+        While a configured circuit breaker is open (flushes repeatedly
+        failing) the request is *shed*: answered immediately with
+        ``Verdict(status="shed")`` rather than queued past a deadline it
+        cannot meet.
         """
         request = self.make_request(source, request_id)
         started = enqueued_at if enqueued_at is not None else self._clock()
+        if self._should_shed():
+            self.reliability.sheds += 1
+            return [self._degraded_verdict(request, started, "shed")]
         return self._batcher.submit((request, started))
 
     def poll(self) -> List[Verdict]:

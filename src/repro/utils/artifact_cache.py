@@ -63,6 +63,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from repro.exceptions import SerializationError
+from repro.reliability.faults import FaultInjector, maybe_fire
 from repro.version import __version__
 
 _ENV_CACHE_VAR = "REPRO_CACHE_DIR"
@@ -121,6 +122,19 @@ class CacheEntry:
         return self.complete and self.package_version == __version__
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid exists, owned elsewhere
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return True
+    return True
+
+
 def _dir_stats(path: Path) -> tuple[int, int]:
     """(total size in bytes, file count) of a directory tree."""
     size = 0
@@ -144,12 +158,28 @@ class ArtifactCache:
         How long a builder waits for another process/thread building the
         same entry before giving up with :class:`SerializationError`.  The
         default comfortably covers a full model-training build.
+    injector:
+        Optional :class:`~repro.reliability.faults.FaultInjector`; when
+        armed, every acquired build lock announces itself at the
+        ``cache.lock`` site (an ``exit`` fault there simulates a lock
+        holder dying without releasing).
+
+    The holder's PID is recorded inside every lock file.  On the ``flock``
+    path that is pure observability (the kernel releases the lock when its
+    holder dies), but on the portable ``O_EXCL`` spin path it is what lets
+    waiters *sweep* a dead holder's stale lock file immediately — counted
+    in :attr:`n_stale_locks_swept` — instead of stalling until
+    ``lock_timeout_s``.
     """
 
     def __init__(self, root: Optional[str | Path] = None,
-                 lock_timeout_s: float = 600.0) -> None:
+                 lock_timeout_s: float = 600.0,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.lock_timeout_s = float(lock_timeout_s)
+        self.injector = injector
+        #: Dead-owner lock files removed instead of waited on (spin path).
+        self.n_stale_locks_swept = 0
 
     # ------------------------------------------------------------------ #
     # Keys and paths
@@ -195,14 +225,55 @@ class ArtifactCache:
     def _lock_path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}{_LOCK_SUFFIX}"
 
+    @staticmethod
+    def _read_lock_pid(lock_path: Path) -> Optional[int]:
+        """The holder PID recorded in ``lock_path`` (None when unreadable).
+
+        An empty file is a holder caught between creating the lock and
+        stamping its PID — it must be treated as live, never swept.
+        """
+        try:
+            text = lock_path.read_text(encoding="ascii").strip()
+            return int(text) if text else None
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _stamp_lock_pid(fd: int) -> None:
+        """Record the holder's PID inside the (held) lock file."""
+        try:
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, str(os.getpid()).encode("ascii"), 0)
+        except OSError:  # pragma: no cover - observability only
+            pass
+
+    def _sweep_stale_lock(self, lock_path: Path, holder: int) -> bool:
+        """Remove a lock file whose recorded holder is dead.
+
+        The rename is the single-winner step: of N waiters that all saw the
+        dead PID, exactly one moves the file aside and deletes it; the rest
+        fall through and race for a fresh ``O_EXCL`` create.
+        """
+        stale_path = lock_path.with_name(
+            f"{lock_path.name}.stale-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(lock_path, stale_path)
+        except OSError:
+            return False
+        stale_path.unlink(missing_ok=True)
+        self.n_stale_locks_swept += 1
+        return True
+
     @contextmanager
     def _entry_lock(self, kind: str, key: str):
         """Hold the per-entry build lock (exclusive across processes/threads).
 
         Uses a blocking-with-timeout ``flock`` poll where available (the
         lock dies with its holder, so crashes never wedge the cache) and an
-        ``O_EXCL`` spin lock elsewhere.  The lock file itself is never
-        deleted while contended — waiters hold fds to its inode.
+        ``O_EXCL`` spin lock elsewhere.  On the spin path a lock file whose
+        recorded holder PID is dead is swept immediately rather than waited
+        on until ``lock_timeout_s``.  A contended ``flock`` lock file is
+        never deleted — waiters hold fds to its inode.
         """
         lock_path = self._lock_path(kind, key)
         lock_path.parent.mkdir(parents=True, exist_ok=True)
@@ -221,18 +292,24 @@ class ArtifactCache:
                                 f"waiting for the build lock on {kind}/{key} "
                                 f"(held by another worker?)") from None
                         time.sleep(_LOCK_POLL_S)
+                self._stamp_lock_pid(fd)
+                maybe_fire(self.injector, "cache.lock", kind=kind, key=key)
                 try:
                     yield
                 finally:
                     fcntl.flock(fd, fcntl.LOCK_UN)
             finally:
                 os.close(fd)
-        else:  # pragma: no cover - exercised only on platforms without fcntl
+        else:
             while True:
                 try:
                     fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_RDWR)
                     break
                 except FileExistsError:
+                    holder = self._read_lock_pid(lock_path)
+                    if holder is not None and not _pid_alive(holder):
+                        if self._sweep_stale_lock(lock_path, holder):
+                            continue
                     if time.monotonic() >= deadline:
                         raise SerializationError(
                             f"timed out after {self.lock_timeout_s:.0f}s "
@@ -240,6 +317,8 @@ class ArtifactCache:
                             f"remove {lock_path} if its holder crashed") from None
                     time.sleep(_LOCK_POLL_S)
             try:
+                self._stamp_lock_pid(fd)
+                maybe_fire(self.injector, "cache.lock", kind=kind, key=key)
                 yield
             finally:
                 os.close(fd)

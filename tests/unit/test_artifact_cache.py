@@ -320,6 +320,151 @@ class TestConcurrentWriters:
         assert sum(entry.kind == "corpus" for entry in cache.entries()) == 1
 
 
+class TestStaleLocks:
+    """The O_EXCL spin path must sweep lock files whose holder died, so a
+    crashed builder never stalls concurrent builders for ``lock_timeout_s``.
+    ``fcntl`` is monkeypatched away to force the portable spin path (the
+    ``flock`` path needs no sweeping — the kernel releases with the holder)."""
+
+    def _dataset(self) -> Dataset:
+        return Dataset(features=np.linspace(0, 1, 12).reshape(4, 3),
+                       labels=np.array([0, 1, 0, 1]), name="toy")
+
+    def _build(self, cache: ArtifactCache, key: str) -> Dataset:
+        return cache.load_or_build(
+            "dataset", key, self._dataset,
+            lambda ds, path: ds.save(path / "data"),
+            lambda path: Dataset.load(path / "data"))
+
+    def _dead_pid(self) -> int:
+        import subprocess
+        import sys
+
+        probe = subprocess.run([sys.executable, "-c", "import os; print(os.getpid())"],
+                               capture_output=True, text=True, check=True)
+        return int(probe.stdout.strip())
+
+    def test_flock_path_stamps_holder_pid(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=0)
+        self._build(cache, key)
+        lock_path = cache.root / "dataset" / f"{key}.lock"
+        assert lock_path.read_text(encoding="ascii").strip() == str(os.getpid())
+
+    def test_dead_holder_lock_is_swept_instead_of_waited_on(self, tmp_path,
+                                                            monkeypatch):
+        import time
+
+        monkeypatch.setattr("repro.utils.artifact_cache.fcntl", None)
+        cache = ArtifactCache(tmp_path, lock_timeout_s=30.0)
+        key = cache.key_for("dataset", seed=1)
+        lock_path = cache.root / "dataset" / f"{key}.lock"
+        lock_path.parent.mkdir(parents=True)
+        lock_path.write_text(str(self._dead_pid()), encoding="ascii")
+        started = time.monotonic()
+        result = self._build(cache, key)
+        # Regression: this used to block the full lock_timeout_s.
+        assert time.monotonic() - started < 5.0
+        assert result.n_samples == 4
+        assert cache.n_stale_locks_swept == 1
+
+    def test_killed_lock_holder_does_not_stall_next_builder(self, tmp_path,
+                                                            monkeypatch):
+        import subprocess
+        import sys
+        import time
+
+        # A real crashed holder: the subprocess acquires the spin lock (its
+        # PID stamped inside) and an injected ``exit`` fault at the
+        # ``cache.lock`` site kills it mid-build, releasing nothing.
+        code = f"""
+import repro.utils.artifact_cache as ac
+ac.fcntl = None
+from repro.reliability import FaultPlan, FaultSpec
+
+plan = FaultPlan(specs=(FaultSpec(site="cache.lock", action="exit"),))
+cache = ac.ArtifactCache({str(tmp_path)!r}, injector=plan.injector())
+with cache._entry_lock("dataset", "deadkey"):
+    raise AssertionError("the injected exit must fire first")
+"""
+        holder = subprocess.run([sys.executable, "-c", code],
+                                capture_output=True, text=True)
+        assert holder.returncode == 1, holder.stderr
+        lock_path = tmp_path / "dataset" / "deadkey.lock"
+        assert lock_path.exists()               # died holding the lock
+        assert lock_path.read_text(encoding="ascii").strip().isdigit()
+
+        monkeypatch.setattr("repro.utils.artifact_cache.fcntl", None)
+        cache = ArtifactCache(tmp_path, lock_timeout_s=30.0)
+        started = time.monotonic()
+        result = self._build(cache, "deadkey")
+        assert time.monotonic() - started < 10.0
+        assert result.n_samples == 4
+        assert cache.n_stale_locks_swept == 1
+
+    def test_empty_lock_file_is_treated_as_live(self, tmp_path, monkeypatch):
+        # An empty file is a holder between creating the lock and stamping
+        # its PID: sweeping it would break mutual exclusion.
+        monkeypatch.setattr("repro.utils.artifact_cache.fcntl", None)
+        cache = ArtifactCache(tmp_path, lock_timeout_s=0.3)
+        key = cache.key_for("dataset", seed=2)
+        lock_path = cache.root / "dataset" / f"{key}.lock"
+        lock_path.parent.mkdir(parents=True)
+        lock_path.touch()
+        with pytest.raises(SerializationError, match="timed out"):
+            self._build(cache, key)
+        assert cache.n_stale_locks_swept == 0
+        assert lock_path.exists()
+
+    def test_live_holder_lock_is_never_swept(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.setattr("repro.utils.artifact_cache.fcntl", None)
+        cache = ArtifactCache(tmp_path, lock_timeout_s=0.3)
+        key = cache.key_for("dataset", seed=3)
+        lock_path = cache.root / "dataset" / f"{key}.lock"
+        lock_path.parent.mkdir(parents=True)
+        lock_path.write_text(str(os.getpid()), encoding="ascii")  # us: alive
+        with pytest.raises(SerializationError, match="timed out"):
+            self._build(cache, key)
+        assert cache.n_stale_locks_swept == 0
+        assert lock_path.exists()
+
+    def test_spin_path_serialises_builders_and_releases(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setattr("repro.utils.artifact_cache.fcntl", None)
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for("dataset", seed=4)
+        build_calls = []
+        results = {}
+        barrier = threading.Barrier(3)
+
+        def build() -> Dataset:
+            build_calls.append(threading.get_ident())
+            time.sleep(0.05)
+            return self._dataset()
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = cache.load_or_build(
+                "dataset", key, build,
+                lambda ds, path: ds.save(path / "data"),
+                lambda path: Dataset.load(path / "data"))
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(build_calls) == 1
+        assert len(results) == 3
+        # The spin lock file is removed on release (unlike flock's).
+        assert not (cache.root / "dataset" / f"{key}.lock").exists()
+
+
 class TestContextIntegration:
     @pytest.fixture()
     def cached_context(self, tmp_path):

@@ -75,6 +75,40 @@ class TestStats:
         with pytest.raises(ServingError):
             tracker.report(0.0)
 
+    def test_report_is_invariant_to_observation_order(self):
+        # A fleet merges per-worker latencies in worker order, not arrival
+        # order: the summary must not depend on how observations interleave.
+        latencies = [4.0, 1.0, 3.0, 1.0, 9.0, 2.0]
+        shuffled, ordered = LatencyTracker(), LatencyTracker()
+        shuffled.extend(latencies)
+        ordered.extend(sorted(latencies))
+        assert shuffled.report(2.0) == ordered.report(2.0)
+
+    def test_duplicate_observations_each_count(self):
+        # Batched scoring records the same latency for every request of a
+        # fused batch; duplicates are real requests, never collapsed.
+        tracker = LatencyTracker()
+        tracker.extend([5.0, 5.0, 5.0, 1.0])
+        report = tracker.report(1.0)
+        assert report.n_requests == 4
+        assert report.requests_per_s == pytest.approx(4.0)
+        assert report.mean_ms == pytest.approx(4.0)
+        assert report.p50_ms == pytest.approx(5.0)
+        assert report.max_ms == pytest.approx(5.0)
+
+    def test_out_of_order_timestamps_clamp_to_zero_latency(self):
+        # A worker's flush can observe a finish time earlier than an
+        # upstream enqueue stamp (clocks read in different processes); the
+        # service clamps those to zero rather than recording negatives —
+        # and the tracker itself refuses negative observations outright.
+        tracker = LatencyTracker()
+        tracker.record(max(0.0, (1.0 - 2.0) * 1000.0))
+        assert tracker.latencies_ms == [0.0]
+        with pytest.raises(ServingError):
+            tracker.record(-0.001)
+        with pytest.raises(ServingError):
+            tracker.record_batch(-1.0, n_requests=2)
+
     def test_tracker_extend_merges_observations(self):
         left, right = LatencyTracker(), LatencyTracker()
         left.record(1.0)

@@ -102,6 +102,37 @@ class TestFleetReplay:
             pass
         fleet.close()
 
+    def test_close_releases_processes_and_queues(self, tiny_context):
+        fleet = WorkerFleet(n_workers=2, context=tiny_context)
+        fleet.start()
+        processes = list(fleet._processes.values())
+        fleet.close()
+        assert fleet._processes == {}
+        assert fleet._task_queue is None and fleet._result_queue is None
+        assert all(not process.is_alive() for process in processes)
+
+    def test_close_returns_within_bound_after_worker_death(self, tiny_context):
+        import time
+
+        # Regression: a replica that died without draining its queues used
+        # to leave close() joining forever on the feeder thread.  close()
+        # must return within its grace budget and leak nothing.
+        fleet = WorkerFleet(n_workers=2, context=tiny_context)
+        fleet.start()
+        victim = next(iter(fleet._processes.values()))
+        victim.kill()
+        victim.join(timeout=5.0)
+        started = time.monotonic()
+        fleet.close(grace_s=5.0)
+        assert time.monotonic() - started < 10.0
+        assert fleet._processes == {}
+        assert fleet._task_queue is None and fleet._result_queue is None
+        # The fleet is restartable after the forced teardown.
+        verdicts, _ = fleet.score_stream([ScoringRequest(
+            request_id="after-close",
+            payload=tiny_context.attack_malware.features[0])])
+        assert len(verdicts) == 1
+
 
 class TestFleetConfig:
     def test_invalid_worker_count_rejected(self, tiny_context):
