@@ -1,0 +1,160 @@
+"""Observability overhead benchmark: instrumented vs plain serving.
+
+Replays the same pre-featurised request stream through the micro-batched
+scoring path three ways — no instrumentation, metrics-only
+instrumentation, and instrumentation with a bounded event sink — and
+records the throughput ratio of each instrumented variant against the
+plain baseline in ``BENCH_observability.json``.
+
+Acceptance: the instrumented batched path keeps ≥ 95% of the plain
+path's throughput (≤ 5% overhead), and the verdict stream is
+byte-identical — instrumentation observes the data plane, it never
+touches it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import BENCH_SEED
+
+from repro.obs import Instrumentation, ListSink
+from repro.serving import LoadGenerator, ModelRegistry, ScoringService, TrafficMix
+
+BENCH_JSON = Path(__file__).parents[1] / "BENCH_observability.json"
+
+#: Requests per measured replay (matches the serving benchmark).
+N_REQUESTS = 512
+
+#: Fused-batch size for the micro-batched path.
+BATCH_SIZE = 128
+
+#: Best-of repeats per variant (de-flakes the ratio).
+REPEATS = 5
+
+#: Maximum tolerated throughput cost of arming instrumentation.
+MAX_OVERHEAD = 0.05
+
+_records: dict = {}
+
+
+def _record(name: str, **values) -> None:
+    _records[name] = {key: round(val, 6) if isinstance(val, float) else val
+                      for key, val in values.items()}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    yield
+    if not _records:
+        return
+    existing = {}
+    if BENCH_JSON.exists():
+        try:
+            existing = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except ValueError:
+            existing = {}
+    existing.update(_records)
+    BENCH_JSON.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def servable(bench_context, bench_cache):
+    """The served target bundle (warm-started from the benchmark cache)."""
+    return ModelRegistry(cache=bench_cache).get("target", context=bench_context)
+
+
+@pytest.fixture(scope="module")
+def feature_requests(bench_context, servable):
+    """A deterministic pre-featurised stream (the pure batched path)."""
+    from repro.serving import ScoringRequest
+
+    generator = LoadGenerator(bench_context, mix=TrafficMix(0.5, 0.5, 0.0),
+                              seed=BENCH_SEED)
+    log_requests = generator.generate(N_REQUESTS)
+    rows = servable.pipeline.transform([request.payload
+                                        for request in log_requests])
+    return [ScoringRequest(request_id=log_requests[index].request_id,
+                           payload=rows[index])
+            for index in range(rows.shape[0])]
+
+
+def _measure_batched(servable, requests, make_obs, repeats: int = REPEATS):
+    """Best-of micro-batched replay: (elapsed_s, verdicts, report)."""
+    best = None
+    for _ in range(repeats):
+        service = ScoringService(servable, max_batch_size=BATCH_SIZE,
+                                 instrumentation=make_obs())
+        start = time.perf_counter()
+        verdicts = []
+        for request in requests:
+            verdicts.extend(service.submit(request))
+        verdicts.extend(service.drain())
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, verdicts, service.report(elapsed))
+    return best
+
+
+def test_bench_instrumentation_overhead(servable, feature_requests):
+    """Armed instrumentation costs ≤ 5% throughput on the batched path."""
+    _measure_batched(servable, feature_requests, lambda: None,
+                     repeats=1)  # warm-up: caches, allocator, code paths
+    plain_s, plain_verdicts, plain_report = _measure_batched(
+        servable, feature_requests, lambda: None)
+    metrics_s, metrics_verdicts, metrics_report = _measure_batched(
+        servable, feature_requests, Instrumentation)
+    sink_s, sink_verdicts, sink_report = _measure_batched(
+        servable, feature_requests,
+        lambda: Instrumentation(sink=ListSink(max_events=8192)))
+
+    # Instrumentation observes the data plane without touching it: every
+    # decision field must be byte-identical to the plain run (latency_ms
+    # is wall-clock measurement, not a decision, so it varies per replay).
+    def decisions(verdicts):
+        return [{key: value for key, value in verdict.as_dict().items()
+                 if key != "latency_ms"} for verdict in verdicts]
+
+    plain_payloads = decisions(plain_verdicts)
+    assert decisions(metrics_verdicts) == plain_payloads
+    assert decisions(sink_verdicts) == plain_payloads
+
+    metrics_overhead = plain_report.requests_per_s / \
+        metrics_report.requests_per_s - 1.0
+    sink_overhead = plain_report.requests_per_s / \
+        sink_report.requests_per_s - 1.0
+    _record("observability_overhead",
+            n_requests=len(feature_requests), batch_size=BATCH_SIZE,
+            plain_rps=plain_report.requests_per_s,
+            metrics_rps=metrics_report.requests_per_s,
+            sink_rps=sink_report.requests_per_s,
+            metrics_overhead=metrics_overhead,
+            sink_overhead=sink_overhead,
+            verdict_mismatches=0)
+    print(f"\nplain {plain_report.requests_per_s:,.0f} req/s, "
+          f"metrics {metrics_report.requests_per_s:,.0f} req/s "
+          f"({metrics_overhead:+.1%}), "
+          f"metrics+sink {sink_report.requests_per_s:,.0f} req/s "
+          f"({sink_overhead:+.1%})")
+    assert metrics_overhead <= MAX_OVERHEAD
+    assert sink_overhead <= MAX_OVERHEAD
+
+
+def test_bench_off_by_default_costs_nothing_extra(servable, feature_requests):
+    """The uninstrumented service carries only a dormant `is None` check;
+    two plain replays bound the measurement noise floor for the table."""
+    first_s, _, first_report = _measure_batched(
+        servable, feature_requests, lambda: None, repeats=3)
+    second_s, _, second_report = _measure_batched(
+        servable, feature_requests, lambda: None, repeats=3)
+    noise = abs(first_s / second_s - 1.0)
+    _record("observability_noise_floor",
+            plain_rps_a=first_report.requests_per_s,
+            plain_rps_b=second_report.requests_per_s,
+            run_to_run_noise=noise)
+    print(f"\nrun-to-run noise floor: {noise:.1%}")

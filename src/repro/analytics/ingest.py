@@ -1,0 +1,178 @@
+"""Recording runs into the analytics store.
+
+Two producers feed the store:
+
+* :func:`record_serve_run` — called by ``cli serve --store`` (and tests)
+  with the verdict stream, the :class:`~repro.serving.stats
+  .ThroughputReport` and, when instrumentation was on, the
+  :meth:`~repro.obs.Instrumentation.snapshot` payload.  One call appends
+  one ``runs`` row plus the per-request ``verdicts`` rows, flat
+  ``metrics`` samples and raw ``events``.
+* :func:`import_bench` — folds existing ``BENCH_*.json`` files (the
+  benchmark harness's artifacts) into ``bench:*`` runs, so throughput
+  history lands next to serve history without re-running anything.
+  Importing is idempotent per run id.
+
+Request ids encode their traffic kind as a prefix (``clean-…``,
+``malware-…``, ``adv-…`` — see :mod:`repro.serving.loadgen`);
+:func:`traffic_kind` recovers it so the drift report can compute evasion
+rates over adversarial traffic only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.analytics.store import AnalyticsStore
+from repro.exceptions import AnalyticsError
+
+__all__ = ["traffic_kind", "record_serve_run", "import_bench"]
+
+_TRAFFIC_KINDS = ("clean", "malware", "adv")
+
+
+def traffic_kind(request_id: str) -> str:
+    """The traffic class encoded in a load-generator request id."""
+    prefix = str(request_id).split("-", 1)[0]
+    return prefix if prefix in _TRAFFIC_KINDS else "other"
+
+
+def _verdict_fields(verdict) -> Mapping[str, object]:
+    if isinstance(verdict, Mapping):
+        return verdict
+    return verdict.as_dict()
+
+
+def record_serve_run(store: AnalyticsStore, run_id: str, verdicts: Sequence,
+                     model_version: str = "",
+                     scenario: str = "",
+                     started_at: Optional[float] = None,
+                     throughput=None,
+                     obs_snapshot: Optional[Mapping[str, object]] = None,
+                     curves: Optional[Mapping[str, Sequence]] = None) -> str:
+    """Append one serve run (verdicts + metrics + events) to ``store``.
+
+    ``verdicts`` are :class:`~repro.serving.service.Verdict` objects or
+    their ``as_dict`` payloads.  ``throughput`` (a ``ThroughputReport``)
+    becomes ``latency.*`` / ``throughput.rps`` metric samples;
+    ``obs_snapshot`` contributes every counter/gauge/histogram stat and the
+    buffered event stream.  ``curves`` maps curve names to ``(x, y)`` pair
+    sequences.  Returns ``run_id``.
+    """
+    if not run_id:
+        raise AnalyticsError("run_id must be a non-empty string")
+    started_at = float(time.time() if started_at is None else started_at)
+    verdict_rows: List[Dict[str, object]] = []
+    for verdict in verdicts:
+        fields = _verdict_fields(verdict)
+        verdict_rows.append({
+            "run_id": run_id,
+            "request_id": fields["request_id"],
+            "traffic": traffic_kind(fields["request_id"]),
+            "label": int(fields["label"]),
+            "probability": float(fields["malware_probability"]),
+            "latency_ms": float(fields["latency_ms"]),
+            "status": fields["status"],
+            "model_version": fields.get("model_version", model_version),
+        })
+    if not model_version and verdict_rows:
+        model_version = str(verdict_rows[0]["model_version"])
+
+    metric_rows: List[Dict[str, object]] = []
+    elapsed_s = 0.0
+    if throughput is not None:
+        summary = (throughput if isinstance(throughput, Mapping)
+                   else throughput.as_dict())
+        elapsed_s = float(summary.get("elapsed_s", 0.0))
+        metric_rows.append({"run_id": run_id, "name": "throughput.rps",
+                            "kind": "latency",
+                            "value": float(summary["requests_per_s"])})
+        for stat in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
+            metric_rows.append({"run_id": run_id, "name": f"latency.{stat}",
+                                "kind": "latency",
+                                "value": float(summary[stat])})
+    event_rows: List[Dict[str, object]] = []
+    if obs_snapshot:
+        metrics = obs_snapshot.get("metrics") or {}
+        for name, value in (metrics.get("counters") or {}).items():
+            metric_rows.append({"run_id": run_id, "name": name,
+                                "kind": "counter", "value": float(value)})
+        for name, payload in (metrics.get("gauges") or {}).items():
+            metric_rows.append({"run_id": run_id, "name": f"{name}.max",
+                                "kind": "gauge",
+                                "value": float(payload["max"])})
+        for name, payload in (metrics.get("histograms") or {}).items():
+            for stat in ("count", "mean", "max"):
+                metric_rows.append({"run_id": run_id,
+                                    "name": f"{name}.{stat}",
+                                    "kind": "histogram",
+                                    "value": float(payload[stat])})
+        for event in obs_snapshot.get("events") or []:
+            event_rows.append({"run_id": run_id, "kind": event["kind"],
+                               "name": event["name"],
+                               "value": float(event["value"]),
+                               "span_id": int(event.get("span_id", 0)),
+                               "parent_id": int(event.get("parent_id", 0))})
+
+    curve_rows: List[Dict[str, object]] = []
+    for curve_name, pairs in (curves or {}).items():
+        for x, y in pairs:
+            curve_rows.append({"run_id": run_id, "curve": curve_name,
+                               "x": float(x), "y": float(y)})
+
+    store.append("runs", [{
+        "run_id": run_id, "kind": "serve", "model_version": model_version,
+        "scenario": scenario, "started_at": started_at,
+        "n_requests": len(verdict_rows), "elapsed_s": elapsed_s,
+    }])
+    store.append("verdicts", verdict_rows)
+    store.append("metrics", metric_rows)
+    store.append("events", event_rows)
+    store.append("curves", curve_rows)
+    return run_id
+
+
+def import_bench(store: AnalyticsStore,
+                 paths: Iterable[Union[str, Path]]) -> List[str]:
+    """Fold ``BENCH_*.json`` files into ``bench:*`` runs (idempotent).
+
+    Each file becomes one run (``run_id = bench:<stem>``) whose numeric
+    leaves flatten into ``metrics`` rows named ``<section>.<metric>``.  A
+    run id already present in the store is skipped, so re-importing after
+    new benchmark runs only picks up new files.  Returns the imported run
+    ids.
+    """
+    existing = set(store.run_ids())
+    imported: List[str] = []
+    for path in sorted(Path(p) for p in paths):
+        run_id = f"bench:{path.stem}"
+        if run_id in existing:
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise AnalyticsError(
+                f"unreadable benchmark file {path}: {error}") from error
+        if not isinstance(payload, Mapping):
+            raise AnalyticsError(
+                f"{path} must hold a JSON object of benchmark sections")
+        metric_rows = []
+        for section, metrics in payload.items():
+            if not isinstance(metrics, Mapping):
+                continue
+            for name, value in metrics.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    metric_rows.append({
+                        "run_id": run_id, "name": f"{section}.{name}",
+                        "kind": "bench", "value": float(value)})
+        store.append("runs", [{
+            "run_id": run_id, "kind": "bench", "scenario": path.stem,
+            "started_at": path.stat().st_mtime, "n_requests": 0,
+        }])
+        store.append("metrics", metric_rows)
+        existing.add(run_id)
+        imported.append(run_id)
+    return imported

@@ -1,0 +1,211 @@
+"""Cross-run analysis: the engine behind ``cli report``.
+
+:func:`build_report` reads **recorded** runs out of an
+:class:`~repro.analytics.store.AnalyticsStore` — it never re-runs scoring —
+and computes what an operator of the detector wants first:
+
+* **evasion-rate drift** — the fraction of adversarial traffic scored
+  clean, per serve run, with first→last deltas per model version and the
+  spread across versions;
+* **p99 latency regressions** — per-run ``latency.p99_ms`` with the delta
+  against the previous serve run (a regression beyond
+  :data:`P99_REGRESSION_THRESHOLD` is flagged);
+* **shed / fallback / error rates** — degradation counters relative to
+  request volume.
+
+:func:`render_report` prints the summary-first text view: headline lines
+up top, the per-run tables after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analytics.store import AnalyticsStore
+from repro.config import CLASS_CLEAN
+
+__all__ = ["P99_REGRESSION_THRESHOLD", "build_report", "render_report"]
+
+#: Relative p99 increase (vs the previous serve run) flagged as a regression.
+P99_REGRESSION_THRESHOLD = 0.10
+
+
+def _metric_map(store: AnalyticsStore, names: List[str]) -> Dict[str, Dict[str, float]]:
+    """``{run_id: {name: value}}`` for the requested metric names."""
+    rows = store.query("metrics", where={"name": names})
+    result: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        result.setdefault(row["run_id"].item(), {})[row["name"].item()] = \
+            float(row["value"])
+    return result
+
+
+def _evasion_rates(store: AnalyticsStore) -> Dict[str, Optional[float]]:
+    """Per-run fraction of scored adversarial traffic labelled clean."""
+    adv = store.query("verdicts", where={"traffic": "adv", "status": "ok"})
+    rates: Dict[str, Optional[float]] = {}
+    if len(adv) == 0:
+        return rates
+    evaded = (adv["label"] == CLASS_CLEAN).astype(np.float64)
+    run_ids, inverse = np.unique(adv["run_id"], return_inverse=True)
+    for index, run_id in enumerate(run_ids):
+        rates[run_id.item()] = float(evaded[inverse == index].mean())
+    return rates
+
+
+def build_report(store: AnalyticsStore) -> Dict[str, object]:
+    """The cross-run report as a JSON-able dict (see the module docs)."""
+    runs = store.runs()
+    serve_mask = runs["kind"] == "serve" if len(runs) else np.zeros(0, bool)
+    serve_runs = runs[serve_mask]
+    bench_runs = runs[~serve_mask] if len(runs) else runs
+
+    metric_names = ["latency.p99_ms", "throughput.rps", "serve.sheds",
+                    "serve.fallbacks", "serve.errors"]
+    metrics = _metric_map(store, metric_names)
+    evasion = _evasion_rates(store)
+
+    per_run: List[Dict[str, object]] = []
+    previous_p99: Optional[float] = None
+    for row in serve_runs:  # store.runs() is already started_at-ordered
+        run_id = row["run_id"].item()
+        run_metrics = metrics.get(run_id, {})
+        n_requests = int(row["n_requests"])
+        p99 = run_metrics.get("latency.p99_ms")
+        p99_delta = None
+        if p99 is not None and previous_p99 is not None and previous_p99 > 0:
+            p99_delta = (p99 - previous_p99) / previous_p99
+        record: Dict[str, object] = {
+            "run_id": run_id,
+            "model_version": row["model_version"].item(),
+            "started_at": float(row["started_at"]),
+            "n_requests": n_requests,
+            "evasion_rate": evasion.get(run_id),
+            "p99_ms": p99,
+            "p99_delta": p99_delta,
+            "p99_regression": (p99_delta is not None
+                               and p99_delta > P99_REGRESSION_THRESHOLD),
+            "rps": run_metrics.get("throughput.rps"),
+            "shed_rate": (run_metrics.get("serve.sheds", 0.0) / n_requests
+                          if n_requests else 0.0),
+            "fallback_rate": (run_metrics.get("serve.fallbacks", 0.0) / n_requests
+                              if n_requests else 0.0),
+            "errors": run_metrics.get("serve.errors", 0.0),
+        }
+        if p99 is not None:
+            previous_p99 = p99
+        per_run.append(record)
+
+    # First→last evasion drift per model version, then the spread across
+    # versions (the "did the new model version get weaker?" question).
+    drift_by_version: Dict[str, Dict[str, object]] = {}
+    for record in per_run:
+        if record["evasion_rate"] is None:
+            continue
+        version = record["model_version"] or "(unversioned)"
+        entry = drift_by_version.setdefault(version, {
+            "first": record["evasion_rate"], "last": record["evasion_rate"],
+            "first_run": record["run_id"], "last_run": record["run_id"],
+            "n_runs": 0})
+        entry["last"] = record["evasion_rate"]
+        entry["last_run"] = record["run_id"]
+        entry["n_runs"] += 1
+    for entry in drift_by_version.values():
+        entry["delta"] = float(entry["last"]) - float(entry["first"])
+    version_means = {version: (entry["first"] + entry["last"]) / 2.0
+                     for version, entry in drift_by_version.items()}
+    across_versions = None
+    if len(version_means) >= 2:
+        ordered = sorted(version_means.items(), key=lambda item: item[1])
+        across_versions = {
+            "lowest": {"model_version": ordered[0][0], "rate": ordered[0][1]},
+            "highest": {"model_version": ordered[-1][0], "rate": ordered[-1][1]},
+            "spread": ordered[-1][1] - ordered[0][1],
+        }
+
+    regressions = [record for record in per_run if record["p99_regression"]]
+    worst_regression = (max(regressions, key=lambda r: r["p99_delta"])
+                        if regressions else None)
+
+    return {
+        "n_runs": int(len(runs)),
+        "n_serve_runs": int(len(serve_runs)),
+        "n_bench_runs": int(len(bench_runs)),
+        "model_versions": sorted({record["model_version"]
+                                  for record in per_run
+                                  if record["model_version"]}),
+        "serve_runs": per_run,
+        "evasion_drift": {"by_model_version": drift_by_version,
+                          "across_versions": across_versions},
+        "p99": {"threshold": P99_REGRESSION_THRESHOLD,
+                "n_regressions": len(regressions),
+                "worst": worst_regression},
+        "bench_runs": [row["run_id"].item() for row in bench_runs],
+    }
+
+
+def _fmt(value, pattern: str = "{:.3f}", missing: str = "-") -> str:
+    return missing if value is None else pattern.format(value)
+
+
+def render_report(report: Dict[str, object], store_root: str = "") -> str:
+    """Summary-first text rendering of :func:`build_report`'s payload."""
+    from repro.evaluation.reports import format_table
+
+    lines = [f"analytics report{f' — store {store_root}' if store_root else ''}"]
+    if report["n_runs"] == 0:
+        lines.append("(no recorded runs — record one with "
+                     "`serve --store DIR` or `report --import-bench`)")
+        return "\n".join(lines)
+    lines.append(f"{report['n_runs']} recorded runs "
+                 f"({report['n_serve_runs']} serve, "
+                 f"{report['n_bench_runs']} bench), "
+                 f"{len(report['model_versions'])} model versions")
+
+    drift = report["evasion_drift"]
+    for version, entry in sorted(drift["by_model_version"].items()):
+        lines.append(
+            f"evasion drift [{version}]: {entry['first']:.3f} → "
+            f"{entry['last']:.3f} ({entry['delta']:+.3f} over "
+            f"{entry['n_runs']} runs)")
+    across = drift["across_versions"]
+    if across is not None:
+        lines.append(
+            f"evasion across versions: {across['lowest']['model_version']} "
+            f"{across['lowest']['rate']:.3f} vs "
+            f"{across['highest']['model_version']} "
+            f"{across['highest']['rate']:.3f} "
+            f"(spread {across['spread']:+.3f})")
+
+    p99 = report["p99"]
+    if p99["worst"] is not None:
+        worst = p99["worst"]
+        lines.append(
+            f"p99 regressions: {p99['n_regressions']} runs over "
+            f"+{p99['threshold']:.0%} — worst {worst['run_id']} "
+            f"({worst['p99_delta']:+.1%} to {worst['p99_ms']:.3f}ms)")
+    elif report["n_serve_runs"] >= 2:
+        lines.append(f"p99 regressions: none over +{p99['threshold']:.0%}")
+
+    if report["serve_runs"]:
+        rows = [[record["run_id"], record["model_version"] or "-",
+                 str(record["n_requests"]),
+                 _fmt(record["evasion_rate"]),
+                 _fmt(record["p99_ms"]),
+                 (_fmt(record["p99_delta"], "{:+.1%}")
+                  + (" !" if record["p99_regression"] else "")),
+                 _fmt(record["rps"], "{:,.0f}"),
+                 f"{record['shed_rate']:.3f}",
+                 f"{record['fallback_rate']:.3f}"]
+                for record in report["serve_runs"]]
+        lines.append("")
+        lines.append(format_table(
+            ["run", "model version", "reqs", "evasion", "p99 ms",
+             "Δp99", "req/s", "shed", "fallback"],
+            rows, title="serve runs (oldest first)"))
+    if report["bench_runs"]:
+        lines.append("")
+        lines.append("imported benchmarks: " + ", ".join(report["bench_runs"]))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Table schemas of the append-only analytics store.
+
+Every table is a flat numpy structured dtype plus a per-column default.
+Segments written by old package versions may lack columns that were added
+later; :func:`upgrade` widens such a segment on *read* by filling the new
+columns with their defaults, so the store never needs a migration step and
+two writers on different versions can share one store root.
+
+Tables
+------
+``runs``
+    One row per recorded run (a ``serve`` replay, an imported benchmark).
+``verdicts``
+    One row per scored request of a serve run — the verdict stream the
+    drift report is computed from.
+``metrics``
+    Flat (name, kind, value) samples per run: latency quantiles,
+    throughput, and every instrumentation counter/gauge/histogram stat.
+``events``
+    Raw :class:`~repro.obs.ObsEvent` records (span timings included) for
+    runs recorded with an event sink attached.
+``curves``
+    (x, y) samples of named per-run curves — e.g. a γ-sweep's
+    evasion-rate curve — so sweep shapes can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import AnalyticsError
+
+__all__ = ["TABLES", "table_dtype", "empty_table", "make_rows", "upgrade",
+           "row_dicts"]
+
+#: ``table -> ((column, numpy-dtype, default), ...)``.  Append new columns
+#: at the end with a sensible default; never re-type or remove a column —
+#: that is the whole schema-evolution contract.
+TABLES: Dict[str, Tuple[Tuple[str, str, object], ...]] = {
+    "runs": (
+        ("run_id", "U64", ""),
+        ("kind", "U16", "serve"),
+        ("model_version", "U24", ""),
+        ("scenario", "U64", ""),
+        ("started_at", "f8", 0.0),
+        ("n_requests", "i8", 0),
+        ("elapsed_s", "f8", 0.0),
+    ),
+    "verdicts": (
+        ("run_id", "U64", ""),
+        ("request_id", "U64", ""),
+        ("traffic", "U16", "other"),
+        ("label", "i4", -1),
+        ("probability", "f8", 0.0),
+        ("latency_ms", "f8", 0.0),
+        ("status", "U16", "ok"),
+        ("model_version", "U24", ""),
+    ),
+    "metrics": (
+        ("run_id", "U64", ""),
+        ("name", "U80", ""),
+        ("kind", "U16", "counter"),
+        ("value", "f8", 0.0),
+    ),
+    "events": (
+        ("run_id", "U64", ""),
+        ("kind", "U16", ""),
+        ("name", "U80", ""),
+        ("value", "f8", 0.0),
+        ("span_id", "i8", 0),
+        ("parent_id", "i8", 0),
+    ),
+    "curves": (
+        ("run_id", "U64", ""),
+        ("curve", "U32", ""),
+        ("x", "f8", 0.0),
+        ("y", "f8", 0.0),
+    ),
+}
+
+
+def _columns(table: str) -> Tuple[Tuple[str, str, object], ...]:
+    try:
+        return TABLES[table]
+    except KeyError:
+        raise AnalyticsError(
+            f"unknown analytics table {table!r}; "
+            f"known: {', '.join(sorted(TABLES))}") from None
+
+
+def table_dtype(table: str) -> np.dtype:
+    """The current structured dtype of ``table``."""
+    return np.dtype([(name, dtype) for name, dtype, _ in _columns(table)])
+
+
+def empty_table(table: str) -> np.ndarray:
+    """A zero-row array carrying ``table``'s current schema."""
+    return np.empty(0, dtype=table_dtype(table))
+
+
+def make_rows(table: str, rows: Sequence[Mapping[str, object]]) -> np.ndarray:
+    """Build a structured array for ``table`` from row dicts.
+
+    Missing keys take the column default; unknown keys are an error (they
+    would be silently dropped otherwise, which always hides a typo).
+    """
+    columns = _columns(table)
+    known = {name for name, _, _ in columns}
+    array = np.empty(len(rows), dtype=table_dtype(table))
+    for index, row in enumerate(rows):
+        unknown = set(row) - known
+        if unknown:
+            raise AnalyticsError(
+                f"unknown column(s) {sorted(unknown)} for table {table!r}")
+        for name, _, default in columns:
+            array[name][index] = row.get(name, default)
+    return array
+
+
+def upgrade(table: str, array: np.ndarray) -> np.ndarray:
+    """Widen ``array`` (possibly an old segment) to the current schema.
+
+    Columns the segment already has are copied; columns added since it was
+    written are filled with their defaults.  Columns the current schema no
+    longer knows are dropped (forward compatibility for rolled-back
+    readers).
+    """
+    if array.dtype == table_dtype(table):
+        return array
+    existing = set(array.dtype.names or ())
+    upgraded = np.empty(len(array), dtype=table_dtype(table))
+    for name, _, default in _columns(table):
+        if name in existing:
+            upgraded[name] = array[name]
+        else:
+            upgraded[name] = default
+    return upgraded
+
+
+def row_dicts(array: np.ndarray) -> List[Dict[str, object]]:
+    """Plain-python row dicts of a structured array (for JSON surfaces)."""
+    names = array.dtype.names or ()
+    return [{name: record[name].item() for name in names} for record in array]

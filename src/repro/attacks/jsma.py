@@ -30,6 +30,7 @@ from repro.attacks.trajectory import TrajectoryRecorder
 from repro.config import CLASS_CLEAN, CLASS_MALWARE
 from repro.exceptions import AttackError
 from repro.nn.network import NeuralNetwork
+from repro.obs.instrument import current as current_instrumentation
 from repro.scenarios.registry import Param, register_attack
 from repro.utils.topk import top_k_indices
 from repro.utils.validation import check_matrix
@@ -141,7 +142,24 @@ class JsmaAttack(Attack):
         per-step evasion flags at negligible overhead — everything it stores
         is already computed by the loop.  The γ-sweep replay engine slices
         that log instead of re-running the attack per operating point.
+
+        When an ambient :class:`~repro.obs.Instrumentation` is active
+        (see :func:`repro.obs.instrumented`), the whole crafting loop runs
+        inside an ``attack.jsma`` span and the ``jsma.steps`` /
+        ``jsma.features_flipped`` / ``jsma.evasions`` counters account for
+        its work; the perturbation math is identical either way.
         """
+        obs = current_instrumentation()
+        if obs is None:
+            return self._run(features, recorder, None)
+        shape = getattr(features, "shape", None)
+        with obs.span("attack.jsma",
+                      n_samples=int(shape[0]) if shape else 0):
+            return self._run(features, recorder, obs)
+
+    def _run(self, features: np.ndarray,
+             recorder: Optional[TrajectoryRecorder],
+             obs) -> AttackResult:
         original = check_matrix(features, name="features",
                                 n_features=self.network.input_dim)
         adversarial = original.copy()
@@ -165,6 +183,9 @@ class JsmaAttack(Attack):
         active = np.ones(n_samples, dtype=bool)
         per_step = self.features_per_step
         n_steps = budget if per_step == 1 else -(-budget // per_step)
+        steps_run = 0
+        ever_evaded = (np.zeros(n_samples, dtype=bool)
+                       if obs is not None else None)
 
         for step in range(n_steps):
             if not np.any(active):
@@ -176,10 +197,13 @@ class JsmaAttack(Attack):
             # is needed.
             jacobian, probs = self.network.class_gradients(adversarial[idx],
                                                            return_probs=True)
-            if self.early_stop or recorder is not None:
+            steps_run = step + 1
+            if self.early_stop or recorder is not None or obs is not None:
                 evaded = np.argmax(probs, axis=1) == self.target_class
                 if recorder is not None and np.any(evaded):
                     recorder.record_evasions(idx[evaded])
+                if ever_evaded is not None:
+                    ever_evaded[idx[evaded]] = True
             if self.early_stop:
                 if np.any(evaded):
                     active[idx[evaded]] = False
@@ -233,6 +257,12 @@ class JsmaAttack(Attack):
             # Samples with no feasible feature left stop here; evaded samples
             # are caught by the probability check at the top of the next step.
             active[idx[~progressed]] = False
+
+        if obs is not None:
+            obs.count("jsma.samples", n_samples)
+            obs.count("jsma.steps", steps_run)
+            obs.count("jsma.features_flipped", int(touched.sum()))
+            obs.count("jsma.evasions", int(ever_evaded.sum()))
 
         # Safety: the loop construction already satisfies the constraints,
         # but project anyway so the invariant holds even under future edits.

@@ -20,6 +20,8 @@ Usage examples::
 
     repro-experiments serve --scale small --cache-dir default --requests 512
     repro-experiments serve --scale small --workers 4 --requests 2048
+    repro-experiments serve --scale tiny --observe --store runs/ --run-id r1
+    repro-experiments report --store runs/ --import-bench
     repro-experiments score sample.log --scale tiny --cache-dir default
     repro-experiments cache-info --cache-dir default
 
@@ -54,6 +56,15 @@ verdict for one API log file (Table II text or JSON counts); ``cache-info``
 lists the artifact-cache entries with sizes and version compatibility.  The
 ``--defense`` endpoint wrapper resolves through the DefenseRegistry, so
 every registered defense (and alias, e.g. ``squeeze``) is servable.
+
+``serve --observe`` arms the :mod:`repro.obs` instrumentation layer
+(spans and counters across the service/batcher/attack seams — verdicts
+stay byte-identical); ``serve --store DIR`` records the run's verdict
+stream, latency metrics and instrumentation snapshot into the
+:mod:`repro.analytics` store, and ``report --store DIR`` summarises every
+recorded run — evasion-rate drift per model version, p99 regressions,
+shed/fallback rates — without re-running any scoring
+(``--import-bench`` folds existing ``BENCH_*.json`` files in first).
 """
 
 from __future__ import annotations
@@ -254,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="FILE", dest="fault_plan",
                               help="JSON FaultPlan to arm in the service/fleet "
                                    "(chaos testing; see repro.reliability)")
+    serve_parser.add_argument("--observe", action="store_true",
+                              help="enable the instrumentation layer (spans + "
+                                   "counters across service/batcher/attack "
+                                   "seams; verdicts stay byte-identical)")
+    serve_parser.add_argument("--store", type=Path, default=None, metavar="DIR",
+                              help="record this run (verdicts, latency metrics "
+                                   "and, with --observe, the instrumentation "
+                                   "snapshot) into the analytics store at DIR "
+                                   "— see the 'report' command")
+    serve_parser.add_argument("--run-id", default=None, dest="run_id",
+                              help="analytics run id for --store (default: "
+                                   "serve-<unix-time>)")
 
     score_parser = subparsers.add_parser(
         "score", help="score one API log file and print the structured verdict")
@@ -268,6 +291,23 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                               help="cache root to inspect (pass 'default' for "
                                    "$REPRO_CACHE_DIR or ~/.cache/repro-dsn2019)")
+
+    report_parser = subparsers.add_parser(
+        "report", help="summarise recorded runs from an analytics store: "
+                       "evasion-rate drift, per-model-version deltas, "
+                       "shed/fallback rates and p99 regressions — without "
+                       "re-running any scoring")
+    report_parser.add_argument("--store", type=Path, required=True, metavar="DIR",
+                               help="analytics store root (see 'serve --store')")
+    report_parser.add_argument("--import-bench", type=Path, nargs="*",
+                               default=None, metavar="FILE", dest="import_bench",
+                               help="fold BENCH_*.json files into the store "
+                                    "before reporting (idempotent; with no "
+                                    "FILE arguments, globs ./BENCH_*.json)")
+    report_parser.add_argument("--json", action="store_true", dest="as_json",
+                               help="print the full report payload as JSON")
+    report_parser.add_argument("--out", type=Path, default=None,
+                               help="directory to write the rendered report into")
     return parser
 
 
@@ -357,6 +397,61 @@ def _load_fault_plan(args):
     return FaultPlan.from_json(args.fault_plan.read_text(encoding="utf-8"))
 
 
+def _obs_summary_lines(snapshot: dict) -> list:
+    """A compact text view of an instrumentation snapshot for ``serve``."""
+    metrics = snapshot.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    histograms = metrics.get("histograms") or {}
+    lines = [f"instrumentation: {snapshot.get('n_spans', 0)} spans, "
+             f"{len(counters)} counters, {len(histograms)} histograms"]
+    for name in sorted(counters):
+        lines.append(f"  {name} = {counters[name]:g}")
+    for name in sorted(gauges):
+        lines.append(f"  {name} (gauge): last={gauges[name]['value']:g} "
+                     f"max={gauges[name]['max']:g}")
+    for name in sorted(histograms):
+        stats = histograms[name]
+        lines.append(f"  {name}: n={stats['count']} mean={stats['mean']:.6g} "
+                     f"max={stats['max']:.6g}")
+    dropped = snapshot.get("n_dropped_events", 0)
+    if dropped:
+        lines.append(f"  (event buffer full: {dropped} oldest events dropped)")
+    return lines
+
+
+def _generate_requests(generator, n_requests: int, obs):
+    """Generate the replay stream, under ambient instrumentation when on.
+
+    The adversarial slice of the traffic mix trains a substitute and runs
+    JSMA once — with ``--observe`` that crafting work lands in the
+    ``jsma.*`` counters and the ``attack.jsma`` span.
+    """
+    if obs is None:
+        return generator.generate(n_requests)
+    from repro.obs import instrumented
+
+    with instrumented(obs):
+        return generator.generate(n_requests)
+
+
+def _record_serve_run(args, verdicts, servable, throughput, obs) -> list:
+    """Record the replayed run into ``--store`` (no-op without the flag)."""
+    if args.store is None:
+        return []
+    from repro.analytics import AnalyticsStore, record_serve_run
+
+    run_id = args.run_id or f"serve-{int(time.time())}"
+    record_serve_run(
+        AnalyticsStore(args.store), run_id, verdicts,
+        model_version=servable.version,
+        scenario=f"serve:{args.model}/{args.defense}",
+        throughput=throughput,
+        obs_snapshot=obs if isinstance(obs, dict)
+        else (obs.snapshot() if obs is not None else None))
+    return [f"recorded run {run_id} → {args.store}"]
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import LoadGenerator, ModelRegistry, ScoringService, TrafficMix, replay
 
@@ -372,6 +467,11 @@ def _cmd_serve(args) -> int:
         # Chaos runs need recovery armed; keep backoff short for the CLI.
         retry_policy = RetryPolicy(max_retries=2, base_delay_s=0.01,
                                    seed=args.seed)
+    obs = None
+    if args.observe:
+        from repro.obs import Instrumentation, ListSink
+
+        obs = Instrumentation(sink=ListSink(max_events=8192))
 
     if args.workers != 1:
         from repro.parallel import WorkerFleet
@@ -382,8 +482,9 @@ def _cmd_serve(args) -> int:
                             max_batch_size=args.batch_size,
                             max_delay_ms=args.max_delay_ms,
                             restart_budget=args.restart_budget,
-                            fault_plan=plan, retry_policy=retry_policy)
-        requests = generator.generate(args.requests)
+                            fault_plan=plan, retry_policy=retry_policy,
+                            instrumentation=obs)
+        requests = _generate_requests(generator, args.requests, obs)
         verdicts, fleet_report = fleet.score_stream(requests,
                                                     rate_per_s=args.rate,
                                                     seed=args.seed)
@@ -393,6 +494,11 @@ def _cmd_serve(args) -> int:
                     f"workers={fleet.n_workers}")
         lines = _serve_summary_lines(args, fleet.servable, verdicts, endpoint)
         lines.append(fleet_report.render())
+        if fleet_report.obs is not None:
+            lines.extend(_obs_summary_lines(fleet_report.obs))
+        lines.extend(_record_serve_run(args, verdicts, fleet.servable,
+                                       fleet_report.throughput,
+                                       fleet_report.obs))
         _emit("serve", "\n".join(lines), args.out)
         return 0
 
@@ -406,8 +512,9 @@ def _cmd_serve(args) -> int:
                              max_delay_ms=args.max_delay_ms,
                              retry_policy=retry_policy,
                              isolate_poison=plan is not None,
-                             injector=injector)
-    requests = generator.generate(args.requests)
+                             injector=injector,
+                             instrumentation=obs)
+    requests = _generate_requests(generator, args.requests, obs)
 
     start = time.perf_counter()
     verdicts = replay(service, requests, rate_per_s=args.rate, seed=args.seed)
@@ -425,7 +532,36 @@ def _cmd_serve(args) -> int:
         service.reliability.record_faults(injector.fired)
     if not service.reliability.empty():
         lines.append(service.reliability.render())
+    if obs is not None:
+        lines.extend(_obs_summary_lines(obs.snapshot()))
+    lines.extend(_record_serve_run(args, verdicts, servable, report, obs))
     _emit("serve", "\n".join(lines), args.out)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analytics import (
+        AnalyticsStore,
+        build_report,
+        import_bench,
+        render_report,
+    )
+
+    store = AnalyticsStore(args.store)
+    lines = []
+    if args.import_bench is not None:
+        paths = (list(args.import_bench) if args.import_bench
+                 else sorted(Path(".").glob("BENCH_*.json")))
+        imported = import_bench(store, paths)
+        lines.append(f"imported {len(imported)} benchmark file(s)"
+                     + (": " + ", ".join(imported) if imported else ""))
+    report = build_report(store)
+    if args.as_json:
+        rendered = json.dumps(report, indent=2, sort_keys=True, default=float)
+    else:
+        rendered = "\n".join(lines + [render_report(
+            report, store_root=str(store.root))])
+    _emit("report", rendered, args.out)
     return 0
 
 
@@ -474,6 +610,18 @@ def _cmd_cache_info(args) -> int:
               f"{entry.size_bytes:>10,} {_human_size(entry.size_bytes):>11} "
               f"{entry.n_files:>6}  {state}")
     print(f"{len(entries)} entries, {total:,} bytes total ({_human_size(total)})")
+    by_kind = {}
+    for entry in entries:
+        count, size = by_kind.get(entry.kind, (0, 0))
+        by_kind[entry.kind] = (count + 1, size + entry.size_bytes)
+    print()
+    print("per-kind breakdown:")
+    print(f"{'kind':<22} {'entries':>7} {'bytes':>14} {'size':>11} {'share':>7}")
+    for kind in sorted(by_kind):
+        count, size = by_kind[kind]
+        share = size / total if total else 0.0
+        print(f"{kind:<22} {count:>7} {size:>14,} {_human_size(size):>11} "
+              f"{share:>6.1%}")
     return 0
 
 
@@ -633,6 +781,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_score(args)
     if args.command == "cache-info":
         return _cmd_cache_info(args)
+    if args.command == "report":
+        return _cmd_report(args)
 
     cache = _cache_from(args.cache_dir)
     context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,

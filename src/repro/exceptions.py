@@ -59,3 +59,7 @@ class ParallelError(ReproError):
     text) and dispatcher-side protocol violations such as a worker exiting
     without draining its queue.
     """
+
+
+class AnalyticsError(ReproError):
+    """Raised by the columnar analytics store and the run-report builder."""

@@ -1,0 +1,68 @@
+"""repro.obs — the lightweight instrumentation core.
+
+Three primitives, one facade:
+
+* :mod:`repro.obs.events` — structured :class:`ObsEvent` records and the
+  pluggable :class:`EventSink` protocol (:class:`ListSink` buffers for
+  tests and for fleet workers forwarding to their dispatcher);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and O(1) summary histograms with associative snapshot merging;
+* :mod:`repro.obs.trace` — nested, monotonic-clock :class:`Tracer` spans
+  with span/parent ids;
+* :mod:`repro.obs.instrument` — the :class:`Instrumentation` facade plus
+  the ambient :func:`current` / :func:`instrumented` context used by deep
+  library code (JSMA step loop, artifact cache) that cannot take an
+  explicit instrumentation argument.
+
+Everything is off by default: an uninstrumented run pays one ``is None``
+check per batch-level operation.  The serving benchmark pins the enabled
+overhead at ≤5% of batched throughput with byte-identical verdicts.
+
+Instrumented sites (see each module's docs for the exact metric names):
+
+================== ====================================================
+seam               metrics
+================== ====================================================
+ScoringService     ``span.service.flush``, ``serve.requests``,
+                   ``serve.sheds``, ``serve.fallbacks``,
+                   ``serve.errors``, ``serve.flush_failures``
+MicroBatcher       ``batcher.queue_depth`` (gauge),
+                   ``batcher.batch_size`` (histogram)
+WorkerFleet        ``fleet.dispatches``, ``fleet.redispatches``,
+                   ``fleet.restarts`` + merged per-worker snapshots
+GridExecutor       ``span.grid.cell``, ``grid.cells``,
+                   ``grid.cell_retries``, ``grid.cell_timeouts``
+JsmaAttack         ``span.attack.jsma``, ``jsma.steps``,
+                   ``jsma.features_flipped``, ``jsma.evasions``
+ArtifactCache      ``cache.hits``, ``cache.misses``,
+                   ``cache.build_seconds`` (histogram)
+================== ====================================================
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventSink,
+    ListSink,
+    NullSink,
+    ObsEvent,
+)
+from repro.obs.instrument import Instrumentation, current, instrumented
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventSink",
+    "ListSink",
+    "NullSink",
+    "ObsEvent",
+    "Instrumentation",
+    "current",
+    "instrumented",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,122 @@
+"""Structured observability events and the pluggable sink protocol.
+
+Every instrumented site in the codebase reduces to one of four event kinds:
+
+* ``span`` — a named, timed region of execution (value = duration in
+  seconds) with a span id and a parent id, so nested spans reconstruct the
+  call tree;
+* ``counter`` — a monotonically increasing count (value = the increment);
+* ``gauge`` — a point-in-time level, e.g. micro-batcher queue depth;
+* ``histogram`` — one observation of a distribution, e.g. a cache build
+  time.
+
+An :class:`EventSink` receives each event as it happens.  Sinks are
+*pluggable*: the default is no sink at all (the metrics registry still
+aggregates), :class:`ListSink` buffers events in memory for tests and for
+fleet workers that forward their buffer to the dispatcher over the result
+queue, and anything implementing ``emit(event)`` — a file writer, an
+analytics-store appender — can be swapped in.  Events serialise to plain
+dicts so they survive a ``multiprocessing`` queue hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["EVENT_KINDS", "ObsEvent", "EventSink", "ListSink", "NullSink"]
+
+#: The event kinds an instrumented site may emit.
+EVENT_KINDS = ("span", "counter", "gauge", "histogram")
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One observability event.
+
+    ``value`` is the duration in seconds for spans, the increment for
+    counters, the level for gauges and the observation for histograms.
+    ``span_id``/``parent_id`` are 0 for non-span events emitted outside any
+    active span; inside a span, non-span events inherit the enclosing span's
+    id as their ``parent_id`` so they can be attributed to it.
+    """
+
+    kind: str
+    name: str
+    value: float
+    span_id: int = 0
+    parent_id: int = 0
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (queue transport, analytics ingestion)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "value": float(self.value),
+            "span_id": int(self.span_id),
+            "parent_id": int(self.parent_id),
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ObsEvent":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            kind=str(payload["kind"]),
+            name=str(payload["name"]),
+            value=float(payload["value"]),
+            span_id=int(payload.get("span_id", 0)),
+            parent_id=int(payload.get("parent_id", 0)),
+            tags=dict(payload.get("tags") or {}),
+        )
+
+
+class EventSink:
+    """Protocol for event consumers; subclass or duck-type ``emit``."""
+
+    def emit(self, event: ObsEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullSink(EventSink):
+    """A sink that drops everything (the explicit do-nothing plug)."""
+
+    def emit(self, event: ObsEvent) -> None:
+        pass
+
+
+class ListSink(EventSink):
+    """Buffers events in memory (tests, fleet-worker forwarding).
+
+    ``max_events`` bounds the buffer so a long soak cannot grow it without
+    limit: once full, the *oldest* events are dropped and
+    :attr:`n_dropped` counts how many — silent truncation would make a
+    forwarded buffer look complete when it is not.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: List[ObsEvent] = []
+        self.n_dropped = 0
+
+    def emit(self, event: ObsEvent) -> None:
+        self.events.append(event)
+        if self.max_events is not None and len(self.events) > self.max_events:
+            overflow = len(self.events) - self.max_events
+            del self.events[:overflow]
+            self.n_dropped += overflow
+
+    def drain(self) -> List[ObsEvent]:
+        """Return and clear the buffered events."""
+        drained, self.events = self.events, []
+        return drained
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """The buffered events as plain dicts (queue transport)."""
+        return [event.as_dict() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

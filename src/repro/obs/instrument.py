@@ -1,0 +1,163 @@
+"""The instrumentation facade and the ambient-instrumentation context.
+
+:class:`Instrumentation` bundles the three observability primitives — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.trace.Tracer` and an optional
+:class:`~repro.obs.events.EventSink` — behind one object the serving and
+parallel layers take as an explicit keyword argument.
+
+Deep library code (the JSMA step loop, the artifact cache) cannot
+reasonably thread that argument through every constructor, so the module
+also provides an *ambient* instrumentation slot::
+
+    obs = Instrumentation(sink=ListSink())
+    with instrumented(obs):
+        attack.run(features)          # jsma.* counters land in obs
+
+Hot paths read the slot with :func:`current` — one module-global load —
+and do nothing when it is ``None``, so uninstrumented runs pay a single
+``is None`` check per *batch-level* operation (never per sample).  That is
+the discipline behind the ≤5% serving-overhead budget: instrumentation
+points sit at seams that already do O(batch) work.
+
+The slot is process-local and last-wins (no thread-local machinery — the
+compute paths here are single-threaded per process, multi-*process* by
+design); fleet and grid workers arm their own instrumentation inside the
+child process.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
+
+from repro.obs.events import EventSink, ListSink, ObsEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["Instrumentation", "current", "instrumented"]
+
+
+class Instrumentation:
+    """Metrics + tracing + event sink behind one convenience facade.
+
+    Parameters
+    ----------
+    sink:
+        Optional event sink receiving every span/counter/histogram event
+        (gauge sets stay metrics-only; see :meth:`gauge`).  ``None`` keeps
+        aggregation (the metrics registry) but emits no event stream — the
+        cheapest useful configuration.
+    clock:
+        Monotonic time source for spans (injectable for tests).
+    tags:
+        Base tags stamped onto every emitted event and span (e.g.
+        ``{"worker": 3}`` so a fleet dispatcher can attribute forwarded
+        events to their replica).  Call-site tags win on key collision.
+    """
+
+    def __init__(self, sink: Optional[EventSink] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 tags: Optional[Dict[str, object]] = None) -> None:
+        self.metrics = MetricsRegistry()
+        self.sink = sink
+        self.tags: Dict[str, object] = dict(tags or {})
+        self.tracer = Tracer(metrics=self.metrics, sink=sink, clock=clock)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **tags):
+        """Open a nested timed span (context manager)."""
+        if self.tags:
+            tags = {**self.tags, **tags}
+        return self.tracer.span(name, **tags)
+
+    def _emit(self, kind: str, name: str, value: float, tags: dict) -> None:
+        if self.sink is not None:
+            if self.tags:
+                tags = {**self.tags, **tags}
+            self.sink.emit(ObsEvent(kind=kind, name=name, value=float(value),
+                                    parent_id=self.tracer.active_id,
+                                    tags=tags))
+
+    def count(self, name: str, amount: float = 1.0, **tags) -> None:
+        """Increment the counter ``name`` (and emit a counter event)."""
+        self.metrics.counter(name).inc(amount)
+        self._emit("counter", name, amount, tags)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` (metrics only — no event).
+
+        Gauges are *sampled state* set on per-item hot paths (queue depth
+        on every submit); emitting an event per sample would put event
+        construction inside the per-request loop and blow the overhead
+        budget.  The registry keeps last and max, which is what reports
+        read; counters, histograms and spans — all batch-level — still
+        emit events.
+        """
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, **tags) -> None:
+        """Record one histogram observation (and emit a histogram event)."""
+        self.metrics.histogram(name).observe(value)
+        self._emit("histogram", name, value, tags)
+
+    # ------------------------------------------------------------------ #
+    # Aggregation / transport
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict state: metrics plus any buffered sink events.
+
+        This is the payload a fleet worker ships to its dispatcher over
+        the result queue; :meth:`merge_snapshot` is the inverse fold.
+        """
+        payload: Dict[str, object] = {"metrics": self.metrics.snapshot(),
+                                      "n_spans": self.tracer.n_spans}
+        if isinstance(self.sink, ListSink):
+            payload["events"] = self.sink.as_dicts()
+            payload["n_dropped_events"] = self.sink.n_dropped
+        return payload
+
+    def merge_snapshot(self, payload: Optional[Dict[str, object]]) -> None:
+        """Fold a worker's :meth:`snapshot` into this instrumentation.
+
+        Forwarded events are replayed into this instance's sink (when both
+        sides have one), so the dispatcher's event stream covers the whole
+        fleet.
+        """
+        if not payload:
+            return
+        self.metrics.merge_snapshot(payload.get("metrics") or {})
+        self.tracer.n_spans += int(payload.get("n_spans", 0))
+        if self.sink is not None:
+            for event in payload.get("events") or []:
+                self.sink.emit(ObsEvent.from_dict(event))
+
+
+#: The ambient instrumentation slot (process-local, last-wins).
+_CURRENT: Optional[Instrumentation] = None
+
+
+def current() -> Optional[Instrumentation]:
+    """The ambient :class:`Instrumentation`, or ``None`` when disabled."""
+    return _CURRENT
+
+
+@contextmanager
+def instrumented(obs: Optional[Instrumentation]):
+    """Make ``obs`` the ambient instrumentation for the ``with`` block.
+
+    Nests: the previous slot value is restored on exit, so a scoped
+    instrumentation (one CLI command, one benchmark measurement) cannot
+    leak into the caller.  ``None`` explicitly disables instrumentation
+    inside the block.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = obs
+    try:
+        yield obs
+    finally:
+        _CURRENT = previous

@@ -1,0 +1,119 @@
+"""Nested tracing spans over a monotonic clock.
+
+A span is a named, timed region of execution::
+
+    with tracer.span("service.flush", n=len(batch)) as span:
+        ...score the batch...
+
+Spans nest: the tracer keeps a stack, assigns each span a process-unique
+id, and records the enclosing span's id as the parent — enough to
+reconstruct the call tree of one run (``fleet.dispatch`` →
+``service.flush`` → ``cache.build``) from the flat event stream.  On exit
+each span emits a ``span`` :class:`~repro.obs.events.ObsEvent` to the
+configured sink and folds its duration into a ``span.<name>`` summary
+histogram, so even sink-less instrumentation answers "how many flushes,
+how long on average".
+
+The tracer is deliberately single-threaded, like the micro-batcher it
+instruments: each process (fleet worker, grid worker, the dispatcher)
+owns its own tracer, and cross-process aggregation happens by merging
+snapshots/event buffers, never by sharing one tracer.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, List, Optional
+
+from repro.obs.events import EventSink, ObsEvent
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One in-flight (or finished) traced region."""
+
+    __slots__ = ("name", "span_id", "parent_id", "tags", "started",
+                 "duration_s")
+
+    def __init__(self, name: str, span_id: int, parent_id: int,
+                 tags: dict, started: float) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags = tags
+        self.started = started
+        self.duration_s: Optional[float] = None  #: set when the span ends
+
+    def as_event(self) -> ObsEvent:
+        """The finished span as an emittable event."""
+        return ObsEvent(kind="span", name=self.name,
+                        value=self.duration_s or 0.0,
+                        span_id=self.span_id, parent_id=self.parent_id,
+                        tags=self.tags)
+
+
+class Tracer:
+    """Issues nested spans and accounts their durations.
+
+    Parameters
+    ----------
+    metrics:
+        Registry receiving one ``span.<name>`` histogram observation per
+        finished span.  ``None`` skips duration aggregation.
+    sink:
+        Optional :class:`~repro.obs.events.EventSink` receiving the span
+        event on exit.
+    clock:
+        Monotonic time source in seconds (injectable for tests).
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 sink: Optional[EventSink] = None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.metrics = metrics
+        self.sink = sink
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.n_spans = 0
+
+    @property
+    def active(self) -> Optional[Span]:
+        """The innermost span currently open (None at top level)."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def active_id(self) -> int:
+        """Id of the innermost open span (0 at top level)."""
+        return self._stack[-1].span_id if self._stack else 0
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Open a named span for the duration of the ``with`` block.
+
+        The span ends — duration computed, event emitted, histogram
+        updated — even when the block raises; the exception then
+        propagates unchanged, with ``error=True`` added to the span tags
+        so failed regions are distinguishable in the event stream.
+        """
+        span = Span(name=name, span_id=self._next_id,
+                    parent_id=self.active_id, tags=dict(tags),
+                    started=self._clock())
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.tags["error"] = True
+            raise
+        finally:
+            self._stack.pop()
+            span.duration_s = max(0.0, self._clock() - span.started)
+            self.n_spans += 1
+            if self.metrics is not None:
+                self.metrics.histogram(f"span.{name}").observe(span.duration_s)
+            if self.sink is not None:
+                self.sink.emit(span.as_event())

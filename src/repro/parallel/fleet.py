@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 import queue as queue_module
 import time
+from contextlib import nullcontext
 from dataclasses import asdict as dataclass_asdict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +49,7 @@ import numpy as np
 from repro.config import ScaleProfile, get_profile
 from repro.exceptions import ParallelError
 from repro.experiments.context import ExperimentContext
+from repro.obs import Instrumentation, ListSink, instrumented
 from repro.parallel.pool import (
     RemoteFailure,
     resolve_start_method,
@@ -73,9 +75,14 @@ _FLEET_FORK_STATE: Dict[str, object] = {}
 #: How often the dispatcher wakes from the result queue to poll liveness.
 _LIVENESS_POLL_S = 0.25
 
+#: Per-worker cap on buffered ObsEvents shipped back with the stats message
+#: (oldest dropped first; the drop count travels in the snapshot).
+_WORKER_OBS_EVENT_CAP = 4096
+
 
 def _build_service(config: Mapping[str, object],
-                   injector: Optional[FaultInjector] = None):
+                   injector: Optional[FaultInjector] = None,
+                   instrumentation: Optional[Instrumentation] = None):
     """Build one worker's ScoringService (inheriting fork state if present)."""
     from repro.serving.registry import ModelRegistry
     from repro.serving.service import ScoringService
@@ -100,7 +107,8 @@ def _build_service(config: Mapping[str, object],
                       if retry_payload is not None else None),
         # A poison request must cost one error verdict, not one replica.
         isolate_poison=True,
-        injector=injector)
+        injector=injector,
+        instrumentation=instrumentation)
 
 
 def _build_detector(config: Mapping[str, object], context: ExperimentContext,
@@ -133,9 +141,20 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
     plan_payload = config.get("fault_plan")
     injector = (FaultPlan.from_dict(plan_payload).injector(
         scope={"worker": worker_id}) if plan_payload else None)
+    # When the dispatcher observes, every replica runs its own collector
+    # and ships the merged snapshot (metrics + bounded event buffer) home
+    # inside the existing stats message — no extra queue, no extra pickle
+    # per verdict.
+    obs = (Instrumentation(sink=ListSink(max_events=_WORKER_OBS_EVENT_CAP),
+                           tags={"worker": worker_id})
+           if config.get("observe") else None)
     service = None
     try:
-        service = _build_service(config, injector=injector)
+        # Ambient scope covers the bundle build too, so warm-start cache
+        # hits/misses of spawn workers land in the worker's counters.
+        with instrumented(obs) if obs is not None else nullcontext():
+            service = _build_service(config, injector=injector,
+                                     instrumentation=obs)
     except BaseException as error:  # noqa: BLE001 - shipped to the dispatcher
         result_queue.put(("failed", worker_id,
                           RemoteFailure.capture(f"worker {worker_id} startup",
@@ -185,6 +204,7 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
             "n_batches": service.n_batches,
             "latencies_ms": service.tracker.latencies_ms,
             "reliability": reliability.as_dict(),
+            "obs": obs.snapshot() if obs is not None else None,
         }))
     except WorkerCrash:
         # Dying gasp: flush the claims/verdicts already queued (plus this
@@ -213,16 +233,22 @@ class FleetReport:
     throughput: ThroughputReport
     per_worker: List[Dict[str, object]] = field(default_factory=list)
     reliability: ReliabilityReport = field(default_factory=ReliabilityReport)
+    #: Fleet-wide instrumentation snapshot (dispatcher counters folded with
+    #: every replica's forwarded snapshot); ``None`` when not observing.
+    obs: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation."""
-        return {
+        payload = {
             "n_workers": self.n_workers,
             "start_method": self.start_method,
             "throughput": self.throughput.as_dict(),
             "per_worker": [dict(worker) for worker in self.per_worker],
             "reliability": self.reliability.as_dict(),
         }
+        if self.obs is not None:
+            payload["obs"] = self.obs
+        return payload
 
     def render(self) -> str:
         """Multi-line human-readable summary (what ``serve --workers`` prints)."""
@@ -271,6 +297,15 @@ class WorkerFleet:
     retry_policy:
         Optional :class:`~repro.reliability.retry.RetryPolicy` each replica
         applies to failing micro-batch flushes.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation` held by the
+        dispatcher.  When set, every replica runs its own collector, ships
+        its snapshot back with the stats message, and
+        :meth:`score_stream` folds them (plus the dispatcher's own
+        ``fleet.dispatches`` / ``fleet.redispatches`` / ``fleet.restarts``
+        counters) into this object; the merged snapshot is surfaced on
+        :attr:`FleetReport.obs`.  ``None`` (the default) disables
+        observation fleet-wide.
     """
 
     def __init__(self, n_workers: Optional[int] = None, model: str = "target",
@@ -286,7 +321,8 @@ class WorkerFleet:
                  timeout_s: float = 300.0,
                  restart_budget: int = 2,
                  fault_plan: Optional[FaultPlan] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 instrumentation: Optional[Instrumentation] = None) -> None:
         self.n_workers = resolve_workers(n_workers)
         self.model = model
         self.defense = defense
@@ -310,6 +346,7 @@ class WorkerFleet:
         self.restart_budget = int(restart_budget)
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        self.instrumentation = instrumentation
         self.servable = None
         self._detector = None
         self._mp_context = None
@@ -346,6 +383,7 @@ class WorkerFleet:
                            if self.fault_plan is not None else None),
             "retry_policy": (self.retry_policy.to_dict()
                              if self.retry_policy is not None else None),
+            "observe": self.instrumentation is not None,
         }
 
     def _spawn_worker(self) -> int:
@@ -490,6 +528,9 @@ class WorkerFleet:
                     time.sleep(remaining)
             stamps[seq] = time.perf_counter()
             self._task_queue.put((seq, request, stamps[seq]))
+        obs = self.instrumentation
+        if obs is not None:
+            obs.count("fleet.dispatches", len(requests))
 
         verdicts: Dict[int, object] = {}
         claims: Dict[int, Set[int]] = {worker_id: set()
@@ -510,9 +551,14 @@ class WorkerFleet:
             for seq in lost:
                 self._task_queue.put((seq, requests[seq], stamps[seq]))
             reliability.redispatches += len(lost)
+            if obs is not None and lost:
+                obs.count("fleet.redispatches", len(lost),
+                          worker=worker_id)
             if restarts_remaining > 0:
                 restarts_remaining -= 1
                 reliability.restarts += 1
+                if obs is not None:
+                    obs.count("fleet.restarts", worker=worker_id)
                 claims[self._spawn_worker()] = set()
             if not self._processes:
                 self.close()
@@ -592,6 +638,8 @@ class WorkerFleet:
             tracker.extend(latencies)
             reliability.merge(ReliabilityReport.from_dict(
                 stats.get("reliability")))
+            if obs is not None:
+                obs.merge_snapshot(stats.get("obs"))
             per_worker.append({
                 "worker_id": worker_id,
                 "n_requests": stats["n_requests"],
@@ -603,7 +651,8 @@ class WorkerFleet:
                              start_method=self.start_method,
                              throughput=tracker.report(elapsed),
                              per_worker=per_worker,
-                             reliability=reliability)
+                             reliability=reliability,
+                             obs=(obs.snapshot() if obs is not None else None))
         return [verdicts[seq] for seq in range(n_expected)], report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

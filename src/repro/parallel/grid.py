@@ -42,6 +42,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.config import ScaleProfile, get_profile
 from repro.exceptions import ParallelError
 from repro.experiments.context import ExperimentContext
+from repro.obs.instrument import Instrumentation
+from repro.obs.instrument import current as current_instrumentation
 from repro.parallel.pool import (
     RemoteFailure,
     resolve_start_method,
@@ -283,6 +285,14 @@ class GridExecutor:
     fault_plan:
         Optional :class:`~repro.reliability.faults.FaultPlan` arming the
         ``grid.cell`` site in every worker (and in the serial path).
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`.  When unset the
+        executor falls back to the ambient one (:func:`repro.obs.current`),
+        so ``with instrumented(obs): executor.run(...)`` observes the grid
+        without touching call sites.  The serial path wraps every cell in
+        a ``grid.cell`` span; both paths count ``grid.cells``,
+        ``grid.cell_retries`` and ``grid.cell_timeouts`` at the
+        supervisor, so the counters cover pooled runs too.
     """
 
     def __init__(self, n_workers: Optional[int] = None,
@@ -292,7 +302,8 @@ class GridExecutor:
                  retries: int = 0,
                  shard_timeout_s: Optional[float] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 instrumentation: Optional[Instrumentation] = None) -> None:
         self.n_workers = resolve_workers(n_workers)
         if cache is not None and not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
@@ -308,6 +319,7 @@ class GridExecutor:
                              else RetryPolicy(max_retries=retries))
         self.shard_timeout_s = shard_timeout_s
         self.fault_plan = fault_plan
+        self.instrumentation = instrumentation
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -329,13 +341,15 @@ class GridExecutor:
         n_workers = min(self.n_workers, len(specs))
         started = time.perf_counter()
         reliability = ReliabilityReport()
+        obs = (self.instrumentation if self.instrumentation is not None
+               else current_instrumentation())
         if n_workers == 1:
-            reports = self._run_serial(specs, context, reliability)
+            reports = self._run_serial(specs, context, reliability, obs)
             return GridResult(reports=reports,
                               elapsed_s=time.perf_counter() - started,
                               n_workers=1, start_method=None,
                               reliability=reliability)
-        reports = self._run_pool(specs, context, n_workers, reliability)
+        reports = self._run_pool(specs, context, n_workers, reliability, obs)
         return GridResult(reports=reports,
                           elapsed_s=time.perf_counter() - started,
                           n_workers=n_workers, start_method=self.start_method,
@@ -346,7 +360,8 @@ class GridExecutor:
     # ------------------------------------------------------------------ #
     def _run_serial(self, specs: Sequence[ScenarioSpec],
                     context: Optional[ExperimentContext],
-                    reliability: ReliabilityReport) -> List:
+                    reliability: ReliabilityReport,
+                    obs: Optional[Instrumentation]) -> List:
         from repro.scenarios.runner import run_scenario
 
         injector = (self.fault_plan.injector()
@@ -366,12 +381,21 @@ class GridExecutor:
                 try:
                     maybe_fire(injector, "grid.cell",
                                cell=cell_index, attempt=attempt)
-                    reports.append(run_scenario(spec, context=cell_context))
+                    if obs is None:
+                        reports.append(run_scenario(spec, context=cell_context))
+                    else:
+                        with obs.span("grid.cell", cell=cell_index,
+                                      attempt=attempt):
+                            reports.append(
+                                run_scenario(spec, context=cell_context))
+                        obs.count("grid.cells")
                     break
                 except Exception:
                     if attempt >= self.retry_policy.max_retries:
                         raise
                     reliability.cell_retries += 1
+                    if obs is not None:
+                        obs.count("grid.cell_retries", cell=cell_index)
                     time.sleep(self.retry_policy.delay(attempt,
                                                        token=cell_index))
                     attempt += 1
@@ -389,7 +413,8 @@ class GridExecutor:
 
     def _run_pool(self, specs: Sequence[ScenarioSpec],
                   context: Optional[ExperimentContext], n_workers: int,
-                  reliability: ReliabilityReport) -> List:
+                  reliability: ReliabilityReport,
+                  obs: Optional[Instrumentation] = None) -> List:
         import multiprocessing
 
         mp_context = multiprocessing.get_context(self.start_method)
@@ -425,7 +450,7 @@ class GridExecutor:
             collected: Dict[int, object] = {}
             with mp_context.Pool(processes=n_workers, initializer=_init_worker,
                                  initargs=(payload,)) as pool:
-                self._supervise(pool, specs, collected, reliability)
+                self._supervise(pool, specs, collected, reliability, obs)
         finally:
             _FORK_STATE.clear()
 
@@ -438,7 +463,8 @@ class GridExecutor:
 
     def _supervise(self, pool, specs: Sequence[ScenarioSpec],
                    collected: Dict[int, object],
-                   reliability: ReliabilityReport) -> None:
+                   reliability: ReliabilityReport,
+                   obs: Optional[Instrumentation] = None) -> None:
         """Dispatch every cell via ``apply_async`` and supervise attempts.
 
         A failed attempt is rescheduled after the policy's backoff; an
@@ -471,6 +497,8 @@ class GridExecutor:
                     f"{self.shard_timeout_s}s each")
             if failure is not None:
                 reliability.cell_retries += 1
+                if obs is not None:
+                    obs.count("grid.cell_retries", cell=cell)
             backoff[cell] = time.monotonic() + self.retry_policy.delay(
                 attempt, token=cell)
 
@@ -492,10 +520,14 @@ class GridExecutor:
                     else:
                         collected[cell] = outcome
                         progressed = True
+                        if obs is not None:
+                            obs.count("grid.cells")
                 elif cell in deadlines and now > deadlines[cell]:
                     del inflight[cell]
                     del deadlines[cell]
                     reliability.cell_timeouts += 1
+                    if obs is not None:
+                        obs.count("grid.cell_timeouts", cell=cell)
                     reschedule(cell, None)
             if not progressed and (inflight or backoff):
                 time.sleep(0.005)

@@ -60,6 +60,11 @@ class MicroBatcher(Generic[T, R]):
     on_isolate:
         Optional callback ``(item, error)`` fired when a poison item is
         isolated into an ``error_fn`` result.
+    instrumentation:
+        Optional :class:`~repro.obs.Instrumentation`; when set, every
+        submit updates the ``batcher.queue_depth`` gauge and every flush
+        records the batch size in the ``batcher.batch_size`` histogram.
+        ``None`` (the default) keeps the hot path untouched.
     """
 
     def __init__(self, flush_fn: Callable[[List[T]], Sequence[R]],
@@ -69,7 +74,8 @@ class MicroBatcher(Generic[T, R]):
                  error_fn: Optional[Callable[[T, Exception], R]] = None,
                  sleep: Callable[[float], None] = time.sleep,
                  on_retry: Optional[Callable[[int, Exception], None]] = None,
-                 on_isolate: Optional[Callable[[T, Exception], None]] = None) -> None:
+                 on_isolate: Optional[Callable[[T, Exception], None]] = None,
+                 instrumentation=None) -> None:
         if max_batch_size < 1:
             raise ServingError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_delay_ms < 0:
@@ -83,6 +89,7 @@ class MicroBatcher(Generic[T, R]):
         self._sleep = sleep
         self._on_retry = on_retry
         self._on_isolate = on_isolate
+        self._obs = instrumentation
         self._pending: List[T] = []
         self._oldest_enqueued_at: Optional[float] = None
         self.n_submitted = 0
@@ -114,6 +121,8 @@ class MicroBatcher(Generic[T, R]):
             self._oldest_enqueued_at = self._clock()
         self._pending.append(item)
         self.n_submitted += 1
+        if self._obs is not None:
+            self._obs.gauge("batcher.queue_depth", len(self._pending))
         if len(self._pending) >= self.max_batch_size:
             return self.flush()
         return []
@@ -171,6 +180,9 @@ class MicroBatcher(Generic[T, R]):
             raise
         self.n_flushes += 1
         self.batch_sizes.append(len(batch))
+        if self._obs is not None:
+            self._obs.observe("batcher.batch_size", len(batch))
+            self._obs.gauge("batcher.queue_depth", len(self._pending))
         return results
 
     def _attempt(self, batch: List[T]) -> List[R]:

@@ -63,6 +63,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 from repro.exceptions import SerializationError
+from repro.obs.instrument import current as current_instrumentation
 from repro.reliability.faults import FaultInjector, maybe_fire
 from repro.version import __version__
 
@@ -350,22 +351,40 @@ class ArtifactCache:
         leave no partial entry behind.  A corrupt entry (marker present but
         ``load`` failing) is evicted and rebuilt rather than propagated, as
         is an entry stamped with a different package version.
+
+        When an ambient :class:`~repro.obs.Instrumentation` is active,
+        warm loads count in ``cache.hits``, builds in ``cache.misses``,
+        and each build's wall time lands in the ``cache.build_seconds``
+        histogram (tagged with the artifact kind in the event stream).
         """
+        obs = current_instrumentation()
         path = self.path_for(kind, key)
         if self.has(kind, key):
             try:
-                return load(path)
+                artifact = load(path)
+                if obs is not None:
+                    obs.count("cache.hits", kind=kind)
+                return artifact
             except (SerializationError, OSError, KeyError, ValueError):
                 self.invalidate(kind, key)
         with self._entry_lock(kind, key):
             # Another worker may have published while we waited on the lock.
             if self.has(kind, key):
                 try:
-                    return load(path)
+                    artifact = load(path)
+                    if obs is not None:
+                        obs.count("cache.hits", kind=kind)
+                    return artifact
                 except (SerializationError, OSError, KeyError, ValueError):
                     self.invalidate(kind, key)
             self._sweep_stale_tmp(kind, key)
+            if obs is not None:
+                obs.count("cache.misses", kind=kind)
+                build_started = time.monotonic()
             artifact = build()
+            if obs is not None:
+                obs.observe("cache.build_seconds",
+                            time.monotonic() - build_started, kind=kind)
             tmp_path = path.parent / (f"{_TMP_PREFIX}{key}-{os.getpid()}-"
                                       f"{uuid.uuid4().hex[:8]}")
             try:

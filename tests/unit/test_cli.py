@@ -383,3 +383,100 @@ class TestServingCommands:
 
         assert verdict_lines(single) == verdict_lines(fleet)
         assert verdict_lines(single)
+
+
+class TestObservabilityCommands:
+    def test_serve_observe_and_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--observe", "--store", "runs", "--run-id", "r1"])
+        assert args.observe is True
+        assert str(args.store) == "runs"
+        assert args.run_id == "r1"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.observe is False
+        assert defaults.store is None
+        assert defaults.run_id is None
+
+    def test_report_parser_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+        args = build_parser().parse_args(["report", "--store", "runs"])
+        assert args.import_bench is None
+        args = build_parser().parse_args(
+            ["report", "--store", "runs", "--import-bench"])
+        assert args.import_bench == []
+        args = build_parser().parse_args(
+            ["report", "--store", "runs", "--import-bench", "a.json", "--json"])
+        assert [str(p) for p in args.import_bench] == ["a.json"]
+        assert args.as_json is True
+
+    def test_serve_observe_prints_instrumentation_summary(self, capsys, tmp_path):
+        code = main(["serve", "--scale", "tiny", "--seed", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "16", "--batch-size", "8",
+                     "--mix", "0.5,0.5,0", "--observe"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "instrumentation:" in output
+        assert "serve.requests = 16" in output
+        assert "batcher.batch_size" in output
+        assert "span.service.flush" in output
+
+    def test_serve_observe_leaves_verdicts_identical(self, capsys, tmp_path):
+        argv = ["serve", "--scale", "tiny", "--seed", "4",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--requests", "16", "--mix", "0.5,0.5,0"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--observe"]) == 0
+        observed = capsys.readouterr().out
+
+        def verdict_lines(text):
+            return [line for line in text.splitlines()
+                    if line.startswith("  ") and "flagged malware" in line]
+
+        assert verdict_lines(plain) == verdict_lines(observed)
+        assert verdict_lines(plain)
+
+    def test_serve_records_and_report_surfaces_drift(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        for seed, run_id in (("4", "run-s4"), ("5", "run-s5")):
+            code = main(["serve", "--scale", "tiny", "--seed", seed,
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--requests", "24", "--batch-size", "8",
+                         "--mix", "0.4,0.3,0.3", "--observe",
+                         "--store", str(store), "--run-id", run_id])
+            assert code == 0
+            assert f"recorded run {run_id}" in capsys.readouterr().out
+
+        assert main(["report", "--store", str(store)]) == 0
+        report = capsys.readouterr().out
+        # Two seeds build two model versions: the drift and p99 sections
+        # must both render, computed purely from the recorded store.
+        assert "2 recorded runs (2 serve, 0 bench), 2 model versions" in report
+        assert "evasion drift [" in report
+        assert "evasion across versions" in report
+        assert "p99 regressions" in report
+        assert "run-s4" in report and "run-s5" in report
+
+        assert main(["report", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_serve_runs"] == 2
+        assert len(payload["model_versions"]) == 2
+
+    def test_report_import_bench_is_idempotent(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        bench = tmp_path / "BENCH_demo.json"
+        bench.write_text(json.dumps({"section": {"metric": 1.5}}),
+                         encoding="utf-8")
+        argv = ["report", "--store", str(store), "--import-bench", str(bench)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "imported 1 benchmark file(s): bench:BENCH_demo" in first
+        assert "imported benchmarks: bench:BENCH_demo" in first
+        assert main(argv) == 0
+        assert "imported 0 benchmark file(s)" in capsys.readouterr().out
+
+    def test_report_on_empty_store(self, capsys, tmp_path):
+        assert main(["report", "--store", str(tmp_path / "empty")]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
