@@ -7,7 +7,8 @@ Two producers feed the store:
   .ThroughputReport` and, when instrumentation was on, the
   :meth:`~repro.obs.Instrumentation.snapshot` payload.  One call appends
   one ``runs`` row plus the per-request ``verdicts`` rows, flat
-  ``metrics`` samples and raw ``events``.
+  ``metrics`` samples, raw ``events``, and — when the snapshot carries
+  traced spans or SLO alerts — queryable ``spans`` / ``alerts`` rows.
 * :func:`import_bench` — folds existing ``BENCH_*.json`` files (the
   benchmark harness's artifacts) into ``bench:*`` runs, so throughput
   history lands next to serve history without re-running anything.
@@ -115,7 +116,9 @@ def record_serve_run(store: AnalyticsStore, run_id: str, verdicts: Sequence,
                                "name": event["name"],
                                "value": float(event["value"]),
                                "span_id": int(event.get("span_id", 0)),
-                               "parent_id": int(event.get("parent_id", 0))})
+                               "parent_id": int(event.get("parent_id", 0)),
+                               "trace_id": str(event.get("trace_id", ""))})
+    span_rows, alert_rows = _trace_rows(run_id, obs_snapshot)
 
     curve_rows: List[Dict[str, object]] = []
     for curve_name, pairs in (curves or {}).items():
@@ -131,8 +134,47 @@ def record_serve_run(store: AnalyticsStore, run_id: str, verdicts: Sequence,
     store.append("verdicts", verdict_rows)
     store.append("metrics", metric_rows)
     store.append("events", event_rows)
+    store.append("spans", span_rows)
+    store.append("alerts", alert_rows)
     store.append("curves", curve_rows)
     return run_id
+
+
+def _trace_rows(run_id: str, obs_snapshot: Optional[Mapping[str, object]]):
+    """Derive ``spans`` / ``alerts`` rows from a snapshot's event stream.
+
+    Spans carrying a ``trace_id`` (the per-request hops) land in the
+    ``spans`` table in queryable form; ``alert`` events (the SLO monitor's
+    burn-rate breaches) land in ``alerts`` with the burn rates and
+    attainment read from their tags.
+    """
+    span_rows: List[Dict[str, object]] = []
+    alert_rows: List[Dict[str, object]] = []
+    for event in (obs_snapshot or {}).get("events") or []:
+        kind = event.get("kind")
+        tags = event.get("tags") or {}
+        if kind == "span" and event.get("trace_id"):
+            worker = tags.get("worker")
+            span_rows.append({
+                "run_id": run_id,
+                "trace_id": str(event["trace_id"]),
+                "span_id": int(event.get("span_id", 0)),
+                "parent_id": int(event.get("parent_id", 0)),
+                "name": str(event.get("name", "")),
+                "duration_ms": float(event.get("value", 0.0)) * 1000.0,
+                "error": int(bool(tags.get("error"))),
+                "worker": int(worker) if worker is not None else -1,
+            })
+        elif kind == "alert":
+            alert_rows.append({
+                "run_id": run_id,
+                "slo": str(event.get("name", "")),
+                "on_breach": str(tags.get("on_breach", "alert")),
+                "fast_burn": float(event.get("value", 0.0)),
+                "slow_burn": float(tags.get("slow_burn", 0.0)),
+                "attainment": float(tags.get("attainment", 1.0)),
+            })
+    return span_rows, alert_rows
 
 
 def import_bench(store: AnalyticsStore,

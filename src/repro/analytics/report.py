@@ -11,10 +11,15 @@ and computes what an operator of the detector wants first:
   against the previous serve run (a regression beyond
   :data:`P99_REGRESSION_THRESHOLD` is flagged);
 * **shed / fallback / error rates** — degradation counters relative to
-  request volume.
+  request volume;
+* **SLO alerts** — burn-rate breaches recorded in the ``alerts`` table,
+  grouped per SLO with the worst observed fast burn.
 
 :func:`render_report` prints the summary-first text view: headline lines
-up top, the per-run tables after.
+up top, the per-run tables after.  Sections a store cannot support yet
+(no adversarial verdicts, fewer than two runs with latency metrics) say
+so explicitly instead of silently vanishing — a runs-only store renders
+a diagnosis, not a blank report.
 """
 
 from __future__ import annotations
@@ -129,6 +134,18 @@ def build_report(store: AnalyticsStore) -> Dict[str, object]:
     worst_regression = (max(regressions, key=lambda r: r["p99_delta"])
                         if regressions else None)
 
+    alerts = store.scan("alerts")
+    alerts_by_slo: Dict[str, Dict[str, object]] = {}
+    for row in alerts:
+        entry = alerts_by_slo.setdefault(row["slo"].item(), {
+            "n_alerts": 0, "worst_fast_burn": 0.0,
+            "on_breach": row["on_breach"].item()})
+        entry["n_alerts"] += 1
+        entry["worst_fast_burn"] = max(float(entry["worst_fast_burn"]),
+                                       float(row["fast_burn"]))
+
+    n_with_p99 = sum(1 for record in per_run if record["p99_ms"] is not None)
+
     return {
         "n_runs": int(len(runs)),
         "n_serve_runs": int(len(serve_runs)),
@@ -141,7 +158,10 @@ def build_report(store: AnalyticsStore) -> Dict[str, object]:
                           "across_versions": across_versions},
         "p99": {"threshold": P99_REGRESSION_THRESHOLD,
                 "n_regressions": len(regressions),
+                "n_runs_with_p99": n_with_p99,
                 "worst": worst_regression},
+        "alerts": {"n_alerts": int(len(alerts)),
+                   "by_slo": alerts_by_slo},
         "bench_runs": [row["run_id"].item() for row in bench_runs],
     }
 
@@ -165,6 +185,9 @@ def render_report(report: Dict[str, object], store_root: str = "") -> str:
                  f"{len(report['model_versions'])} model versions")
 
     drift = report["evasion_drift"]
+    if not drift["by_model_version"]:
+        lines.append("evasion drift: skipped — no adversarial verdicts "
+                     "recorded (serve with adversarial traffic to populate)")
     for version, entry in sorted(drift["by_model_version"].items()):
         lines.append(
             f"evasion drift [{version}]: {entry['first']:.3f} → "
@@ -186,8 +209,22 @@ def render_report(report: Dict[str, object], store_root: str = "") -> str:
             f"p99 regressions: {p99['n_regressions']} runs over "
             f"+{p99['threshold']:.0%} — worst {worst['run_id']} "
             f"({worst['p99_delta']:+.1%} to {worst['p99_ms']:.3f}ms)")
-    elif report["n_serve_runs"] >= 2:
+    elif p99.get("n_runs_with_p99", report["n_serve_runs"]) < 2:
+        lines.append("p99 regressions: skipped — need at least 2 serve runs "
+                     "with latency metrics")
+    else:
         lines.append(f"p99 regressions: none over +{p99['threshold']:.0%}")
+
+    alerts = report.get("alerts") or {"n_alerts": 0, "by_slo": {}}
+    if alerts["n_alerts"]:
+        parts = ", ".join(
+            f"{slo} ×{entry['n_alerts']} "
+            f"(worst burn {entry['worst_fast_burn']:.1f}, "
+            f"{entry['on_breach']})"
+            for slo, entry in sorted(alerts["by_slo"].items()))
+        lines.append(f"slo alerts: {alerts['n_alerts']} fired — {parts}")
+    else:
+        lines.append("slo alerts: none recorded")
 
     if report["serve_runs"]:
         rows = [[record["run_id"], record["model_version"] or "-",

@@ -19,6 +19,13 @@ Tables
 ``events``
     Raw :class:`~repro.obs.ObsEvent` records (span timings included) for
     runs recorded with an event sink attached.
+``spans``
+    One row per finished request-scoped span — the flat form of the trace
+    trees :class:`~repro.obs.SpanCollector` assembles, so "where did
+    request X spend its time?" is answerable from the store alone.
+``alerts``
+    One row per SLO burn-rate alert fired during a run, with the burn
+    rates and attainment observed at fire time.
 ``curves``
     (x, y) samples of named per-run curves — e.g. a γ-sweep's
     evasion-rate curve — so sweep shapes can be diffed across runs.
@@ -71,6 +78,25 @@ TABLES: Dict[str, Tuple[Tuple[str, str, object], ...]] = {
         ("value", "f8", 0.0),
         ("span_id", "i8", 0),
         ("parent_id", "i8", 0),
+        ("trace_id", "U64", ""),
+    ),
+    "spans": (
+        ("run_id", "U64", ""),
+        ("trace_id", "U64", ""),
+        ("span_id", "i8", 0),
+        ("parent_id", "i8", 0),
+        ("name", "U80", ""),
+        ("duration_ms", "f8", 0.0),
+        ("error", "i1", 0),
+        ("worker", "i4", -1),
+    ),
+    "alerts": (
+        ("run_id", "U64", ""),
+        ("slo", "U64", ""),
+        ("on_breach", "U16", "alert"),
+        ("fast_burn", "f8", 0.0),
+        ("slow_burn", "f8", 0.0),
+        ("attainment", "f8", 1.0),
     ),
     "curves": (
         ("run_id", "U64", ""),

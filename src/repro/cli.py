@@ -21,6 +21,10 @@ Usage examples::
     repro-experiments serve --scale small --cache-dir default --requests 512
     repro-experiments serve --scale small --workers 4 --requests 2048
     repro-experiments serve --scale tiny --observe --store runs/ --run-id r1
+    repro-experiments serve --scale tiny --observe --store runs/ \\
+        --workers 2 --slo-ms 25 --slo-breach shed
+    repro-experiments top --store runs/ --once
+    repro-experiments export-metrics --store runs/
     repro-experiments report --store runs/ --import-bench
     repro-experiments score sample.log --scale tiny --cache-dir default
     repro-experiments cache-info --cache-dir default
@@ -65,6 +69,14 @@ stream, latency metrics and instrumentation snapshot into the
 recorded run — evasion-rate drift per model version, p99 regressions,
 shed/fallback rates — without re-running any scoring
 (``--import-bench`` folds existing ``BENCH_*.json`` files in first).
+
+With ``--observe`` every request is trace-stamped: the serve summary ends
+with assembled span trees (queue / batch-wait / score breakdown per
+request), and ``--slo-ms`` arms a latency SLO under multi-window
+burn-rate alerting (``--slo-breach shed`` lets an active breach shed
+load).  A ``--store`` run additionally publishes a live snapshot file the
+``top`` command renders as a refreshing terminal dashboard, and
+``export-metrics`` re-emits in Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -277,6 +289,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--run-id", default=None, dest="run_id",
                               help="analytics run id for --store (default: "
                                    "serve-<unix-time>)")
+    serve_parser.add_argument("--slo-ms", type=float, default=None,
+                              metavar="MS", dest="slo_ms",
+                              help="arm a latency SLO: verdicts over MS burn "
+                                   "error budget; breaches fire burn-rate "
+                                   "alerts (see --slo-breach)")
+    serve_parser.add_argument("--slo-objective", type=float, default=0.99,
+                              dest="slo_objective", metavar="FRACTION",
+                              help="required good fraction for --slo-ms "
+                                   "(default: 0.99)")
+    serve_parser.add_argument("--slo-breach", choices=("alert", "shed",
+                                                       "fallback"),
+                              default="alert", dest="slo_breach",
+                              help="what an active SLO breach arms: alert "
+                                   "only, load shedding, or fallback to the "
+                                   "undefended model (default: alert)")
 
     score_parser = subparsers.add_parser(
         "score", help="score one API log file and print the structured verdict")
@@ -308,6 +335,32 @@ def build_parser() -> argparse.ArgumentParser:
                                help="print the full report payload as JSON")
     report_parser.add_argument("--out", type=Path, default=None,
                                help="directory to write the rendered report into")
+
+    top_parser = subparsers.add_parser(
+        "top", help="live terminal dashboard for a running replay: progress, "
+                    "rps, latency quantiles, SLO burn rates and alerts, read "
+                    "from the store's atomically-published live snapshot")
+    top_parser.add_argument("--store", type=Path, required=True, metavar="DIR",
+                            help="analytics store root the replay publishes "
+                                 "into (see 'serve --observe --store')")
+    top_parser.add_argument("--once", action="store_true",
+                            help="render one frame and exit (scripts, CI)")
+    top_parser.add_argument("--interval", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="refresh interval (default: 1.0)")
+    top_parser.add_argument("--frames", type=int, default=None, metavar="N",
+                            help="stop after N refreshes (default: until "
+                                 "interrupted or the run reports finished)")
+
+    export_parser = subparsers.add_parser(
+        "export-metrics", help="emit the last published metrics snapshot in "
+                               "Prometheus text exposition format")
+    export_parser.add_argument("--store", type=Path, required=True,
+                               metavar="DIR",
+                               help="analytics store root holding the live "
+                                    "snapshot (see 'serve --observe --store')")
+    export_parser.add_argument("--out", type=Path, default=None,
+                               help="directory to write the exposition into")
     return parser
 
 
@@ -420,6 +473,66 @@ def _obs_summary_lines(snapshot: dict) -> list:
     return lines
 
 
+def _slo_specs(args):
+    """The SLO specs the ``--slo-*`` flags describe (empty when unarmed)."""
+    if getattr(args, "slo_ms", None) is None:
+        return ()
+    from repro.obs import SLOSpec
+
+    return (SLOSpec(name="latency", objective=args.slo_objective,
+                    target_ms=args.slo_ms, on_breach=args.slo_breach),)
+
+
+def _live_publisher(args, obs, slo_specs, stamper=None):
+    """A live-snapshot publisher for ``--store`` runs (None without one)."""
+    if args.store is None:
+        return None
+    from repro.obs import LivePublisher, SLOMonitor
+
+    display = SLOMonitor(slo_specs) if slo_specs else None
+    return LivePublisher(args.store, instrumentation=obs, slo=display,
+                         stamper=stamper)
+
+
+def _trace_summary_lines(args, snapshot: Optional[dict]) -> list:
+    """Span-tree and SLO-alert summary for ``serve`` (empty when untraced)."""
+    if not snapshot:
+        return []
+    from repro.obs import SpanCollector, breakdown_summary
+
+    collector = SpanCollector()
+    collector.add_snapshot(snapshot)
+    trees = collector.trees()
+    lines = []
+    if trees:
+        complete = sum(tree.complete for tree in trees.values())
+        lines.append(f"traces: {len(trees)} requests traced — {complete} "
+                     f"complete, {collector.n_orphans} orphans, "
+                     f"{collector.n_duplicates} duplicate span ids")
+        summary = breakdown_summary(trees)
+        if summary["queue_ms"]["count"]:
+            lines.append(
+                "  breakdown (once-scored traces, mean): "
+                f"queue {summary['queue_ms']['mean_ms']:.3f} ms | "
+                f"batch-wait {summary['batch_wait_ms']['mean_ms']:.3f} ms | "
+                f"score {summary['score_ms']['mean_ms']:.3f} ms | "
+                f"end-to-end {summary['total_ms']['mean_ms']:.3f} ms")
+        sample = next((tree for tree in trees.values()
+                       if tree.complete and len(tree.nodes) >= 4), None)
+        if sample is not None:
+            lines.extend("  " + line for line in sample.render().splitlines())
+    if getattr(args, "slo_ms", None) is not None:
+        alerts = [event for event in snapshot.get("events") or []
+                  if event.get("kind") == "alert"]
+        if alerts:
+            names = sorted({str(event.get("name", "")) for event in alerts})
+            lines.append(f"slo alerts: {len(alerts)} fired "
+                         f"({', '.join(names)})")
+        else:
+            lines.append("slo alerts: none fired")
+    return lines
+
+
 def _generate_requests(generator, n_requests: int, obs):
     """Generate the replay stream, under ambient instrumentation when on.
 
@@ -471,7 +584,10 @@ def _cmd_serve(args) -> int:
     if args.observe:
         from repro.obs import Instrumentation, ListSink
 
-        obs = Instrumentation(sink=ListSink(max_events=8192))
+        # Tracing emits ~4 span events per request; size the buffer so a
+        # multi-thousand-request replay keeps every root reachable.
+        obs = Instrumentation(sink=ListSink(max_events=32768))
+    slo_specs = _slo_specs(args)
 
     if args.workers != 1:
         from repro.parallel import WorkerFleet
@@ -483,11 +599,16 @@ def _cmd_serve(args) -> int:
                             max_delay_ms=args.max_delay_ms,
                             restart_budget=args.restart_budget,
                             fault_plan=plan, retry_policy=retry_policy,
-                            instrumentation=obs)
+                            instrumentation=obs,
+                            slo_specs=slo_specs or None)
         requests = _generate_requests(generator, args.requests, obs)
+        publisher = _live_publisher(args, obs, slo_specs)
         verdicts, fleet_report = fleet.score_stream(requests,
                                                     rate_per_s=args.rate,
-                                                    seed=args.seed)
+                                                    seed=args.seed,
+                                                    progress=publisher)
+        if publisher is not None:
+            publisher.finish(fleet_report.obs)
         endpoint = (f"endpoint: defense={args.defense} "
                     f"threshold={args.threshold} batch_size={args.batch_size} "
                     f"max_delay_ms={args.max_delay_ms} "
@@ -496,6 +617,7 @@ def _cmd_serve(args) -> int:
         lines.append(fleet_report.render())
         if fleet_report.obs is not None:
             lines.extend(_obs_summary_lines(fleet_report.obs))
+            lines.extend(_trace_summary_lines(args, fleet_report.obs))
         lines.extend(_record_serve_run(args, verdicts, fleet.servable,
                                        fleet_report.throughput,
                                        fleet_report.obs))
@@ -507,18 +629,38 @@ def _cmd_serve(args) -> int:
     detector = _resolve_detector(args, servable, context, registry=registry)
     injector = (plan.injector(scope={"worker": 0})
                 if plan is not None else None)
+    slo = None
+    if slo_specs:
+        from repro.obs import SLOMonitor
+
+        slo = SLOMonitor(slo_specs, instrumentation=obs)
     service = ScoringService(servable, detector=detector, threshold=args.threshold,
                              max_batch_size=args.batch_size,
                              max_delay_ms=args.max_delay_ms,
                              retry_policy=retry_policy,
                              isolate_poison=plan is not None,
                              injector=injector,
-                             instrumentation=obs)
+                             instrumentation=obs,
+                             slo=slo)
     requests = _generate_requests(generator, args.requests, obs)
+    stamper = None
+    if obs is not None:
+        from repro.obs import TraceStamper
+
+        # Single-process path: stamp trace contexts here, where the fleet
+        # dispatcher would; root durations fall back to verdict latency.
+        stamper = TraceStamper(obs)
+        requests = [stamper.stamp(request) for request in requests]
+    publisher = _live_publisher(args, obs, slo_specs, stamper=stamper)
 
     start = time.perf_counter()
-    verdicts = replay(service, requests, rate_per_s=args.rate, seed=args.seed)
+    verdicts = replay(service, requests, rate_per_s=args.rate, seed=args.seed,
+                      progress=publisher)
     elapsed = time.perf_counter() - start
+    if stamper is not None:
+        stamper.finish_all(verdicts)
+    if publisher is not None:
+        publisher.finish(obs.snapshot() if obs is not None else None)
     report = service.report(elapsed)
 
     endpoint = (f"endpoint: defense={service.defense_name or 'none'} "
@@ -533,7 +675,9 @@ def _cmd_serve(args) -> int:
     if not service.reliability.empty():
         lines.append(service.reliability.render())
     if obs is not None:
-        lines.extend(_obs_summary_lines(obs.snapshot()))
+        snapshot = obs.snapshot()
+        lines.extend(_obs_summary_lines(snapshot))
+        lines.extend(_trace_summary_lines(args, snapshot))
     lines.extend(_record_serve_run(args, verdicts, servable, report, obs))
     _emit("serve", "\n".join(lines), args.out)
     return 0
@@ -562,6 +706,47 @@ def _cmd_report(args) -> int:
         rendered = "\n".join(lines + [render_report(
             report, store_root=str(store.root))])
     _emit("report", rendered, args.out)
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs import read_snapshot, render_top
+
+    frame = 0
+    while True:
+        payload = read_snapshot(args.store)
+        rendered = render_top(payload)
+        if args.once or args.frames is not None:
+            print(rendered)
+        else:
+            # Clear + home keeps the dashboard in place on ANSI terminals.
+            print(f"\x1b[2J\x1b[H{rendered}", flush=True)
+        frame += 1
+        if args.once:
+            return 0
+        if args.frames is not None and frame >= args.frames:
+            return 0
+        if payload is not None and payload.get("finished"):
+            return 0
+        try:
+            time.sleep(max(0.05, args.interval))
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
+def _cmd_export_metrics(args) -> int:
+    from repro.obs import prometheus_exposition, read_snapshot, snapshot_path
+
+    payload = read_snapshot(args.store)
+    if payload is None:
+        print(f"no live snapshot at {snapshot_path(args.store)} — run "
+              f"`serve --observe --store {args.store}` first", file=sys.stderr)
+        return 1
+    rendered = prometheus_exposition(payload.get("metrics"))
+    print(rendered, end="")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "metrics.prom").write_text(rendered, encoding="utf-8")
     return 0
 
 
@@ -783,6 +968,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache_info(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "export-metrics":
+        return _cmd_export_metrics(args)
 
     cache = _cache_from(args.cache_dir)
     context = ExperimentContext(scale=get_profile(args.scale), seed=args.seed,

@@ -8,11 +8,24 @@ Three primitives, one facade:
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
   gauges and O(1) summary histograms with associative snapshot merging;
 * :mod:`repro.obs.trace` — nested, monotonic-clock :class:`Tracer` spans
-  with span/parent ids;
+  with span/parent ids, plus the :class:`TraceContext` that carries a
+  request's trace across the fleet's process boundary;
 * :mod:`repro.obs.instrument` — the :class:`Instrumentation` facade plus
   the ambient :func:`current` / :func:`instrumented` context used by deep
   library code (JSMA step loop, artifact cache) that cannot take an
   explicit instrumentation argument.
+
+On top of the core sit three serving-observability layers:
+
+* :mod:`repro.obs.spans` — the distributed-tracing halves:
+  :class:`TraceStamper` (dispatcher-side root spans) and
+  :class:`SpanCollector` (per-request span trees with orphan flagging and
+  queue/batch-wait/score breakdowns);
+* :mod:`repro.obs.slo` — declarative :class:`SLOSpec` objectives under
+  multi-window burn-rate alerting (:class:`SLOMonitor`), optionally
+  arming service shed/fallback degradation;
+* :mod:`repro.obs.live` — atomically-published live snapshots, the
+  ``cli top`` dashboard rendering and Prometheus text exposition.
 
 Everything is off by default: an uninstrumented run pays one ``is None``
 check per batch-level operation.  The serving benchmark pins the enabled
@@ -25,9 +38,14 @@ seam               metrics
 ================== ====================================================
 ScoringService     ``span.service.flush``, ``serve.requests``,
                    ``serve.sheds``, ``serve.fallbacks``,
-                   ``serve.errors``, ``serve.flush_failures``
+                   ``serve.errors``, ``serve.flush_failures``; per traced
+                   request: ``span.fleet.queue``, ``span.batcher.enqueue``,
+                   ``span.request.score``
 MicroBatcher       ``batcher.queue_depth`` (gauge),
-                   ``batcher.batch_size`` (histogram)
+                   ``batcher.batch_size`` (histogram),
+                   ``batcher.flush_lag_ms`` (histogram: flush time past
+                   the oldest item's deadline)
+SLOMonitor         ``alert.slo.<name>`` + one ``alert`` event per breach
 WorkerFleet        ``fleet.dispatches``, ``fleet.redispatches``,
                    ``fleet.restarts`` + merged per-worker snapshots
 GridExecutor       ``span.grid.cell``, ``grid.cells``,
@@ -47,8 +65,24 @@ from repro.obs.events import (
     ObsEvent,
 )
 from repro.obs.instrument import Instrumentation, current, instrumented
+from repro.obs.live import (
+    LivePublisher,
+    prometheus_exposition,
+    read_snapshot,
+    render_top,
+    snapshot_path,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import Span, Tracer
+from repro.obs.slo import SLOMonitor, SLOSpec, SLOStatus
+from repro.obs.spans import (
+    BREAKDOWN_SPANS,
+    SpanCollector,
+    SpanNode,
+    SpanTree,
+    TraceStamper,
+    breakdown_summary,
+)
+from repro.obs.trace import Span, TraceContext, Tracer
 
 __all__ = [
     "EVENT_KINDS",
@@ -64,5 +98,20 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TraceContext",
     "Tracer",
+    "BREAKDOWN_SPANS",
+    "SpanCollector",
+    "SpanNode",
+    "SpanTree",
+    "TraceStamper",
+    "breakdown_summary",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOStatus",
+    "LivePublisher",
+    "prometheus_exposition",
+    "read_snapshot",
+    "render_top",
+    "snapshot_path",
 ]

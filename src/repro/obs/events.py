@@ -8,7 +8,15 @@ Every instrumented site in the codebase reduces to one of four event kinds:
 * ``counter`` — a monotonically increasing count (value = the increment);
 * ``gauge`` — a point-in-time level, e.g. micro-batcher queue depth;
 * ``histogram`` — one observation of a distribution, e.g. a cache build
-  time.
+  time;
+* ``alert`` — an SLO burn-rate breach raised by
+  :class:`~repro.obs.slo.SLOMonitor` (value = the fast-window burn rate).
+
+Span events may additionally carry a ``trace_id`` — the id of the *request*
+whose life they describe.  Trace ids cross process boundaries (a
+:class:`~repro.obs.trace.TraceContext` rides on the ``ScoringRequest``), so
+the dispatcher can stitch one request's dispatcher-side and replica-side
+spans back into a single tree (see :mod:`repro.obs.spans`).
 
 An :class:`EventSink` receives each event as it happens.  Sinks are
 *pluggable*: the default is no sink at all (the metrics registry still
@@ -27,7 +35,7 @@ from typing import Dict, List, Mapping, Optional
 __all__ = ["EVENT_KINDS", "ObsEvent", "EventSink", "ListSink", "NullSink"]
 
 #: The event kinds an instrumented site may emit.
-EVENT_KINDS = ("span", "counter", "gauge", "histogram")
+EVENT_KINDS = ("span", "counter", "gauge", "histogram", "alert")
 
 
 @dataclass(frozen=True)
@@ -35,10 +43,12 @@ class ObsEvent:
     """One observability event.
 
     ``value`` is the duration in seconds for spans, the increment for
-    counters, the level for gauges and the observation for histograms.
-    ``span_id``/``parent_id`` are 0 for non-span events emitted outside any
-    active span; inside a span, non-span events inherit the enclosing span's
-    id as their ``parent_id`` so they can be attributed to it.
+    counters, the level for gauges, the observation for histograms and the
+    fast-window burn rate for alerts.  ``span_id``/``parent_id`` are 0 for
+    non-span events emitted outside any active span; inside a span, non-span
+    events inherit the enclosing span's id as their ``parent_id`` so they
+    can be attributed to it.  ``trace_id`` is non-empty only on spans that
+    belong to one request's distributed trace.
     """
 
     kind: str
@@ -46,6 +56,7 @@ class ObsEvent:
     value: float
     span_id: int = 0
     parent_id: int = 0
+    trace_id: str = ""
     tags: Mapping[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -56,6 +67,7 @@ class ObsEvent:
             "value": float(self.value),
             "span_id": int(self.span_id),
             "parent_id": int(self.parent_id),
+            "trace_id": self.trace_id,
             "tags": dict(self.tags),
         }
 
@@ -68,6 +80,7 @@ class ObsEvent:
             value=float(payload["value"]),
             span_id=int(payload.get("span_id", 0)),
             parent_id=int(payload.get("parent_id", 0)),
+            trace_id=str(payload.get("trace_id", "")),
             tags=dict(payload.get("tags") or {}),
         )
 

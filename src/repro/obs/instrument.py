@@ -34,7 +34,7 @@ from typing import Callable, Dict, Optional
 
 from repro.obs.events import EventSink, ListSink, ObsEvent
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer
+from repro.obs.trace import Span, TraceContext, Tracer
 
 __all__ = ["Instrumentation", "current", "instrumented"]
 
@@ -55,15 +55,21 @@ class Instrumentation:
         Base tags stamped onto every emitted event and span (e.g.
         ``{"worker": 3}`` so a fleet dispatcher can attribute forwarded
         events to their replica).  Call-site tags win on key collision.
+    namespace:
+        Span-id namespace for the tracer (dispatcher 0, fleet replica
+        ``worker_id + 1``) so spans stitched across processes never share
+        an id.
     """
 
     def __init__(self, sink: Optional[EventSink] = None,
                  clock: Callable[[], float] = time.perf_counter,
-                 tags: Optional[Dict[str, object]] = None) -> None:
+                 tags: Optional[Dict[str, object]] = None,
+                 namespace: int = 0) -> None:
         self.metrics = MetricsRegistry()
         self.sink = sink
         self.tags: Dict[str, object] = dict(tags or {})
-        self.tracer = Tracer(metrics=self.metrics, sink=sink, clock=clock)
+        self.tracer = Tracer(metrics=self.metrics, sink=sink, clock=clock,
+                             namespace=namespace)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -82,6 +88,27 @@ class Instrumentation:
                                     parent_id=self.tracer.active_id,
                                     tags=tags))
 
+    def record_span(self, name: str, started: float, ended: float,
+                    trace: Optional[TraceContext] = None,
+                    span_id: Optional[int] = None, **tags) -> Span:
+        """Record an explicitly-timed span, parented by ``trace`` if given.
+
+        The per-request tracing primitive: the serving layer stamps clock
+        values where a request changes hands (dispatcher enqueue, replica
+        pickup, flush start/end) and turns each hop into a span here.
+        With a :class:`~repro.obs.trace.TraceContext` the span joins that
+        request's distributed tree; without one it parents on the
+        innermost open local span, like any other span.
+        """
+        if self.tags:
+            tags = {**self.tags, **tags}
+        if trace is not None:
+            return self.tracer.record_span(
+                name, started, ended, trace_id=trace.trace_id,
+                parent_id=trace.parent_span_id, span_id=span_id, **tags)
+        return self.tracer.record_span(name, started, ended,
+                                       span_id=span_id, **tags)
+
     def count(self, name: str, amount: float = 1.0, **tags) -> None:
         """Increment the counter ``name`` (and emit a counter event)."""
         self.metrics.counter(name).inc(amount)
@@ -90,12 +117,11 @@ class Instrumentation:
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` (metrics only — no event).
 
-        Gauges are *sampled state* set on per-item hot paths (queue depth
-        on every submit); emitting an event per sample would put event
-        construction inside the per-request loop and blow the overhead
-        budget.  The registry keeps last and max, which is what reports
-        read; counters, histograms and spans — all batch-level — still
-        emit events.
+        Gauges are *sampled state* (queue depth at flush boundaries);
+        emitting an event per sample would tie event construction to the
+        sampling rate and blow the overhead budget.  The registry keeps
+        last and max, which is what reports read; counters, histograms
+        and spans — all batch-level — still emit events.
         """
         self.metrics.gauge(name).set(value)
 
@@ -103,6 +129,16 @@ class Instrumentation:
         """Record one histogram observation (and emit a histogram event)."""
         self.metrics.histogram(name).observe(value)
         self._emit("histogram", name, value, tags)
+
+    def alert(self, name: str, value: float, **tags) -> None:
+        """Record one alert firing (counted, and emitted as an event).
+
+        Alerts are rare by construction (an SLO breach transition), so
+        unlike gauges they always emit an event — an alert that only
+        bumped a counter could not be attributed or replayed later.
+        """
+        self.metrics.counter(f"alert.{name}").inc()
+        self._emit("alert", name, value, tags)
 
     # ------------------------------------------------------------------ #
     # Aggregation / transport

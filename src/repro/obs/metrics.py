@@ -23,6 +23,7 @@ registries its worker processes ship back over the result queue.
 from __future__ import annotations
 
 import math
+from time import monotonic as _monotonic
 from typing import Dict, Mapping
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -46,17 +47,30 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time level (last write wins)."""
+    """A point-in-time level (most *recent* write wins).
 
-    __slots__ = ("name", "value", "max_value")
+    Every :meth:`set` records a monotonic ``stamp`` alongside the value.
+    Within one process "last write" and "greatest stamp" coincide; across
+    processes the stamp is what makes merging deterministic —
+    :meth:`MetricsRegistry.merge_snapshot` keeps the value with the
+    greatest ``(stamp, value)`` pair, which is associative and commutative,
+    so folding per-worker snapshots in any arrival order yields the same
+    "last" (``time.monotonic`` is CLOCK_MONOTONIC on Linux, comparable
+    across processes on one machine).  A gauge never set keeps
+    ``stamp=-inf`` so any real write beats it.
+    """
+
+    __slots__ = ("name", "value", "max_value", "stamp")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self.max_value = 0.0
+        self.stamp = -math.inf
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        self.stamp = _monotonic()
         if self.value > self.max_value:
             self.max_value = self.value
 
@@ -140,7 +154,8 @@ class MetricsRegistry:
         return {
             "counters": {name: counter.value
                          for name, counter in sorted(self._counters.items())},
-            "gauges": {name: {"value": gauge.value, "max": gauge.max_value}
+            "gauges": {name: {"value": gauge.value, "max": gauge.max_value,
+                              "stamp": gauge.stamp}
                        for name, gauge in sorted(self._gauges.items())},
             "histograms": {
                 name: {"count": hist.count, "sum": hist.total,
@@ -153,9 +168,14 @@ class MetricsRegistry:
     def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters and histogram counts/sums add; gauges keep the *maximum*
-        (the only associative choice for a level — a fleet's aggregate queue
-        depth is its worst replica's).
+        Counters and histogram counts/sums add.  A gauge's ``max`` keeps
+        the maximum, and its "last" value goes to the greatest
+        ``(stamp, value)`` pair — both associative and commutative folds,
+        so merging per-worker snapshots gives the same result in any
+        arrival order.  Snapshots predating gauge stamps merge with
+        ``stamp=-inf`` (value breaks the tie), preserving the old
+        max-value behaviour among themselves while never overriding a
+        genuinely stamped write.
         """
         for name, value in (snapshot.get("counters") or {}).items():
             self.counter(name).inc(float(value))
@@ -164,7 +184,10 @@ class MetricsRegistry:
             peak = float(payload["max"])
             if peak > gauge.max_value:
                 gauge.max_value = peak
-            gauge.value = max(gauge.value, float(payload["value"]))
+            stamp = float(payload.get("stamp", -math.inf))
+            if (stamp, float(payload["value"])) > (gauge.stamp, gauge.value):
+                gauge.value = float(payload["value"])
+                gauge.stamp = stamp
         for name, payload in (snapshot.get("histograms") or {}).items():
             hist = self.histogram(name)
             count = int(payload["count"])

@@ -1,0 +1,344 @@
+"""Distributed span trees: stamping, collection and per-request breakdowns.
+
+One scored request crosses a process boundary: the :class:`WorkerFleet`
+dispatcher enqueues it, a replica picks it up, the replica's
+:class:`MicroBatcher` holds it until a flush, and the verdict rides home on
+the result queue.  Each hop is measured as a span carrying the request's
+``trace_id``; this module stitches the flat, multi-process event stream
+back into one tree per request.
+
+* :class:`TraceStamper` is the dispatcher half: it allocates a root span
+  id per request, stamps a :class:`~repro.obs.trace.TraceContext` onto the
+  outgoing ``ScoringRequest``, and finishes the root span when the verdict
+  arrives — tagging it with the verdict status.
+* :class:`SpanCollector` is the assembly half: fed span events (live
+  objects or the plain dicts a worker snapshot ships home), it groups them
+  by trace, links children to parents, flags orphans (a parent that never
+  arrived) and duplicates (one span id seen twice), and derives the
+  queue-time / batch-wait / score-time breakdown that answers "where did
+  request X spend its time?".
+
+The per-request span names, in hop order:
+
+========================  ====================================================
+``request``               root: dispatcher enqueue → verdict received
+``fleet.queue``           dispatcher enqueue → replica ``service.submit``
+``batcher.enqueue``       replica pickup → the flush that scored it starting
+``request.score``         flush start → verdict construction finished
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs.events import ObsEvent
+from repro.obs.instrument import Instrumentation
+from repro.obs.trace import TraceContext
+
+__all__ = ["BREAKDOWN_SPANS", "SpanNode", "SpanTree", "SpanCollector",
+           "TraceStamper", "breakdown_summary"]
+
+#: The child-span names that partition a request's end-to-end latency,
+#: mapped to the breakdown keys reports use.
+BREAKDOWN_SPANS = {
+    "fleet.queue": "queue_ms",
+    "batcher.enqueue": "batch_wait_ms",
+    "request.score": "score_ms",
+}
+
+#: The span name of a per-request root span.
+ROOT_SPAN = "request"
+
+
+@dataclass
+class SpanNode:
+    """One finished span inside a trace."""
+
+    name: str
+    span_id: int
+    parent_id: int
+    trace_id: str
+    duration_ms: float
+    tags: Dict[str, object] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def error(self) -> bool:
+        """True when the span ended by raising (``error=True`` tag)."""
+        return bool(self.tags.get("error"))
+
+
+@dataclass
+class SpanTree:
+    """Every span of one trace, linked root-down."""
+
+    trace_id: str
+    root: Optional[SpanNode] = None
+    nodes: List[SpanNode] = field(default_factory=list)
+    orphans: List[SpanNode] = field(default_factory=list)
+    n_duplicates: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Rooted, no orphans, no duplicate span ids."""
+        return (self.root is not None and not self.orphans
+                and self.n_duplicates == 0)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-hop milliseconds: queue_ms / batch_wait_ms / score_ms.
+
+        Keys appear only for hops the trace actually recorded (a request
+        shed at submit has none), plus ``total_ms`` when the tree has a
+        root.  Repeated hops (a request re-flushed after poison bisection)
+        sum.
+        """
+        parts: Dict[str, float] = {}
+        for node in self.nodes:
+            key = BREAKDOWN_SPANS.get(node.name)
+            if key is not None:
+                parts[key] = parts.get(key, 0.0) + node.duration_ms
+        if self.root is not None:
+            parts["total_ms"] = self.root.duration_ms
+        return parts
+
+    def hop_counts(self) -> Dict[str, int]:
+        """How many spans recorded each breakdown hop.
+
+        A clean once-scored request has exactly one of each; a request
+        redispatched after a replica death may carry two ``fleet.queue``
+        spans (the dead replica's pickup survived in its dying-gasp
+        snapshot) — summary statistics filter on this.
+        """
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            key = BREAKDOWN_SPANS.get(node.name)
+            if key is not None:
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        """ASCII rendering of the tree (docs, debugging, ``cli top``)."""
+        lines: List[str] = [f"trace {self.trace_id}"]
+
+        def walk(node: SpanNode, prefix: str, last: bool) -> None:
+            branch = "`-" if last else "|-"
+            suffix = "  [error]" if node.error else ""
+            worker = node.tags.get("worker")
+            where = f" @worker{worker}" if worker is not None else ""
+            lines.append(f"{prefix}{branch} {node.name}  "
+                         f"{node.duration_ms:.3f} ms{where}{suffix}")
+            child_prefix = prefix + ("   " if last else "|  ")
+            for index, child in enumerate(node.children):
+                walk(child, child_prefix, index == len(node.children) - 1)
+
+        if self.root is not None:
+            walk(self.root, "", True)
+        for orphan in self.orphans:
+            lines.append(f"?- {orphan.name}  {orphan.duration_ms:.3f} ms"
+                         f"  [orphan: parent {orphan.parent_id} missing]")
+        return "\n".join(lines)
+
+
+class SpanCollector:
+    """Assembles per-request span trees from a flat span-event stream.
+
+    Feed it :class:`~repro.obs.events.ObsEvent` objects or their
+    ``as_dict`` forms — whatever mixture a run produced (the dispatcher's
+    live sink, a worker snapshot's ``events`` list, rows read back from
+    the analytics store).  Events that are not spans, or spans without a
+    ``trace_id`` (process-local spans like ``fleet.dispatch``), are
+    counted but not collected.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Dict[int, SpanNode]] = {}
+        self._duplicates: Dict[str, int] = {}
+        self.n_untraced = 0
+        self.n_ignored = 0
+
+    def add(self, event: Union[ObsEvent, Mapping[str, object]]) -> None:
+        """Add one event; non-span and untraced events are counted only."""
+        if isinstance(event, ObsEvent):
+            kind, name, trace_id = event.kind, event.name, event.trace_id
+            span_id, parent_id = event.span_id, event.parent_id
+            value, tags = event.value, dict(event.tags)
+        else:
+            kind = str(event.get("kind", ""))
+            name = str(event.get("name", ""))
+            trace_id = str(event.get("trace_id", ""))
+            span_id = int(event.get("span_id", 0))
+            parent_id = int(event.get("parent_id", 0))
+            value = float(event.get("value", 0.0))
+            tags = dict(event.get("tags") or {})
+        if kind != "span":
+            self.n_ignored += 1
+            return
+        if not trace_id:
+            self.n_untraced += 1
+            return
+        per_trace = self._nodes.setdefault(trace_id, {})
+        if span_id in per_trace:
+            self._duplicates[trace_id] = self._duplicates.get(trace_id, 0) + 1
+            return
+        per_trace[span_id] = SpanNode(name=name, span_id=span_id,
+                                      parent_id=parent_id, trace_id=trace_id,
+                                      duration_ms=value * 1000.0, tags=tags)
+
+    def add_events(self,
+                   events: Iterable[Union[ObsEvent, Mapping[str, object]]]
+                   ) -> None:
+        """Add many events (a sink buffer, a snapshot's ``events`` list)."""
+        for event in events:
+            self.add(event)
+
+    def add_snapshot(self, snapshot: Optional[Mapping[str, object]]) -> None:
+        """Add the ``events`` of an :meth:`Instrumentation.snapshot`."""
+        if snapshot:
+            self.add_events(snapshot.get("events") or [])
+
+    @property
+    def trace_ids(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def tree(self, trace_id: str) -> SpanTree:
+        """The assembled tree for one trace (empty tree if unknown)."""
+        per_trace = self._nodes.get(trace_id, {})
+        tree = SpanTree(trace_id=trace_id,
+                        n_duplicates=self._duplicates.get(trace_id, 0))
+        for span_id in sorted(per_trace):
+            node = per_trace[span_id]
+            node.children = []
+            tree.nodes.append(node)
+        for node in tree.nodes:
+            if node.parent_id == 0:
+                if tree.root is None:
+                    tree.root = node
+                else:
+                    tree.orphans.append(node)  # second root: unparentable
+            else:
+                parent = per_trace.get(node.parent_id)
+                if parent is None:
+                    tree.orphans.append(node)
+                else:
+                    parent.children.append(node)
+        return tree
+
+    def trees(self) -> Dict[str, SpanTree]:
+        """All assembled trees, keyed by trace id."""
+        return {trace_id: self.tree(trace_id) for trace_id in self.trace_ids}
+
+    @property
+    def n_orphans(self) -> int:
+        """Total orphan spans across every trace."""
+        return sum(len(tree.orphans) for tree in self.trees().values())
+
+    @property
+    def n_duplicates(self) -> int:
+        """Total duplicate span ids across every trace."""
+        return sum(self._duplicates.values())
+
+
+class TraceStamper:
+    """Dispatcher-side trace bookkeeping: stamp roots, finish on verdict.
+
+    ``stamp`` allocates the root span id, attaches the
+    :class:`~repro.obs.trace.TraceContext` to the outgoing request (any
+    dataclass with a ``trace`` field) and notes the dispatch clock stamp;
+    ``finish`` closes the root when that request's verdict arrives.  A
+    verdict for an unknown or already-finished request id is ignored, so
+    redispatch races and duplicate verdicts stay harmless.
+
+    When no dispatch stamp was recorded (``started=None`` — the
+    single-process serving path, where pacing sits between stamping and
+    submission), the root's duration falls back to the verdict's measured
+    end-to-end ``latency_ms``.
+
+    ``sample_every`` is the head-based sampling knob production tracing
+    systems use to meet an overhead budget: the stamper traces the first
+    request and every ``sample_every``-th after it, and passes the rest
+    through untouched (no context, no root, no replica-side hop spans —
+    an unstamped request costs one modulo on the dispatcher and one
+    ``is None`` check on the replica).  The default ``1`` traces every
+    request — full fidelity for chaos soaks and debugging; per-request
+    span recording plus event transport costs tens of microseconds, so
+    under a tight throughput budget sample instead (the decision is made
+    at the head, so every sampled trace is still a *complete* tree).
+    """
+
+    def __init__(self, instrumentation: Instrumentation,
+                 clock: Callable[[], float] = time.perf_counter,
+                 sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self._obs = instrumentation
+        self._clock = clock
+        self._sample_every = int(sample_every)
+        self._seq = 0
+        self._open: Dict[str, Tuple[int, Optional[float]]] = {}
+
+    @property
+    def open_count(self) -> int:
+        """Requests stamped but not yet finished."""
+        return len(self._open)
+
+    def stamp(self, request, started: Optional[float] = None):
+        """Return ``request`` with a fresh root span's context attached.
+
+        Requests not selected by ``sample_every`` are returned unchanged.
+        """
+        seq, self._seq = self._seq, self._seq + 1
+        if seq % self._sample_every:
+            return request
+        root_id = self._obs.tracer.allocate_id()
+        self._open[request.request_id] = (root_id, started)
+        return replace(request, trace=TraceContext(
+            trace_id=request.request_id, parent_span_id=root_id))
+
+    def finish(self, verdict, ended: Optional[float] = None) -> None:
+        """Close the root span for ``verdict``'s request (idempotent)."""
+        entry = self._open.pop(verdict.request_id, None)
+        if entry is None:
+            return
+        root_id, started = entry
+        if ended is None:
+            ended = self._clock()
+        if started is None:
+            started = ended - verdict.latency_ms / 1000.0
+        self._obs.record_span(
+            ROOT_SPAN, started, ended,
+            trace=TraceContext(trace_id=verdict.request_id, parent_span_id=0),
+            span_id=root_id, status=verdict.status)
+
+    def finish_all(self, verdicts, ended: Optional[float] = None) -> None:
+        """Close root spans for a batch of verdicts."""
+        for verdict in verdicts:
+            self.finish(verdict, ended=ended)
+
+
+def breakdown_summary(trees: Mapping[str, SpanTree]) -> Dict[str, Dict[str, float]]:
+    """Aggregate per-hop timing across trees: count / total / mean ms.
+
+    Only trees with a clean breakdown — every hop present *exactly once* —
+    contribute, so partially-traced requests (shed at submit, spans lost
+    to a crashed replica) and redispatched requests (doubled queue hops)
+    cannot skew the means.
+    """
+    keys = tuple(BREAKDOWN_SPANS.values()) + ("total_ms",)
+    hop_keys = tuple(BREAKDOWN_SPANS.values())
+    sums: Dict[str, float] = {key: 0.0 for key in keys}
+    count = 0
+    for tree in trees.values():
+        parts = tree.breakdown()
+        if not all(key in parts for key in keys):
+            continue
+        if any(tree.hop_counts().get(key, 0) != 1 for key in hop_keys):
+            continue
+        count += 1
+        for key in keys:
+            sums[key] += parts[key]
+    return {key: {"count": float(count), "total_ms": sums[key],
+                  "mean_ms": (sums[key] / count if count else 0.0)}
+            for key in keys}

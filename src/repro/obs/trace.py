@@ -1,4 +1,4 @@
-"""Nested tracing spans over a monotonic clock.
+"""Nested tracing spans over a monotonic clock, plus trace propagation.
 
 A span is a named, timed region of execution::
 
@@ -14,6 +14,17 @@ configured sink and folds its duration into a ``span.<name>`` summary
 histogram, so even sink-less instrumentation answers "how many flushes,
 how long on average".
 
+Two additions make spans *distributed*:
+
+* a :class:`TraceContext` — ``(trace_id, parent_span_id)`` — rides on a
+  ``ScoringRequest`` across the ``WorkerFleet`` process boundary, so
+  replica-side spans can declare the dispatcher-side root span as their
+  parent (see :meth:`Tracer.record_span`);
+* each tracer owns a span-id *namespace*: ids are
+  ``namespace * 2**40 + counter``, so the dispatcher (namespace 0) and
+  every fleet replica (namespace ``worker_id + 1``, fresh per restart)
+  allocate from disjoint ranges and stitched trees never collide.
+
 The tracer is deliberately single-threaded, like the micro-batcher it
 instruments: each process (fleet worker, grid worker, the dispatcher)
 owns its own tracer, and cross-process aggregation happens by merging
@@ -24,25 +35,55 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.obs.events import EventSink, ObsEvent
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["Span", "Tracer"]
+__all__ = ["Span", "TraceContext", "Tracer"]
+
+#: Span-id range per namespace; namespaces (dispatcher 0, replica
+#: ``worker_id + 1``) allocate ids from disjoint ``2**40``-wide blocks.
+SPAN_ID_STRIDE = 2 ** 40
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The cross-process trace coordinates stamped onto one request.
+
+    ``trace_id`` names the request's whole tree (by convention the
+    request id — deterministic and meaningful in reports);
+    ``parent_span_id`` is the dispatcher-side root span that replica-side
+    spans must declare as their parent.  The context is a frozen
+    dataclass so it pickles over a ``multiprocessing`` queue unchanged.
+    """
+
+    trace_id: str
+    parent_span_id: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": int(self.parent_span_id)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TraceContext":
+        return cls(trace_id=str(payload["trace_id"]),
+                   parent_span_id=int(payload.get("parent_span_id", 0)))
 
 
 class Span:
     """One in-flight (or finished) traced region."""
 
-    __slots__ = ("name", "span_id", "parent_id", "tags", "started",
-                 "duration_s")
+    __slots__ = ("name", "span_id", "parent_id", "trace_id", "tags",
+                 "started", "duration_s")
 
     def __init__(self, name: str, span_id: int, parent_id: int,
-                 tags: dict, started: float) -> None:
+                 tags: dict, started: float, trace_id: str = "") -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.tags = tags
         self.started = started
         self.duration_s: Optional[float] = None  #: set when the span ends
@@ -52,7 +93,7 @@ class Span:
         return ObsEvent(kind="span", name=self.name,
                         value=self.duration_s or 0.0,
                         span_id=self.span_id, parent_id=self.parent_id,
-                        tags=self.tags)
+                        trace_id=self.trace_id, tags=self.tags)
 
 
 class Tracer:
@@ -68,16 +109,24 @@ class Tracer:
         event on exit.
     clock:
         Monotonic time source in seconds (injectable for tests).
+    namespace:
+        Span-id namespace: ids start at ``namespace * SPAN_ID_STRIDE + 1``.
+        Processes that contribute spans to one stitched trace (fleet
+        dispatcher and its replicas) must use distinct namespaces.
     """
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  sink: Optional[EventSink] = None,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 namespace: int = 0) -> None:
+        if namespace < 0:
+            raise ValueError(f"namespace must be >= 0, got {namespace}")
         self.metrics = metrics
         self.sink = sink
         self._clock = clock
+        self.namespace = int(namespace)
         self._stack: List[Span] = []
-        self._next_id = 1
+        self._next_id = self.namespace * SPAN_ID_STRIDE + 1
         self.n_spans = 0
 
     @property
@@ -90,6 +139,16 @@ class Tracer:
         """Id of the innermost open span (0 at top level)."""
         return self._stack[-1].span_id if self._stack else 0
 
+    def allocate_id(self) -> int:
+        """Reserve a span id without opening a span.
+
+        Used by the fleet dispatcher to stamp a root span's id onto a
+        :class:`TraceContext` *before* the span finishes — replica-side
+        children must know their parent's id while the root is still open.
+        """
+        span_id, self._next_id = self._next_id, self._next_id + 1
+        return span_id
+
     @contextmanager
     def span(self, name: str, **tags):
         """Open a named span for the duration of the ``with`` block.
@@ -99,10 +158,9 @@ class Tracer:
         propagates unchanged, with ``error=True`` added to the span tags
         so failed regions are distinguishable in the event stream.
         """
-        span = Span(name=name, span_id=self._next_id,
+        span = Span(name=name, span_id=self.allocate_id(),
                     parent_id=self.active_id, tags=dict(tags),
                     started=self._clock())
-        self._next_id += 1
         self._stack.append(span)
         try:
             yield span
@@ -111,9 +169,31 @@ class Tracer:
             raise
         finally:
             self._stack.pop()
-            span.duration_s = max(0.0, self._clock() - span.started)
-            self.n_spans += 1
-            if self.metrics is not None:
-                self.metrics.histogram(f"span.{name}").observe(span.duration_s)
-            if self.sink is not None:
-                self.sink.emit(span.as_event())
+            self._finish(span, max(0.0, self._clock() - span.started))
+
+    def record_span(self, name: str, started: float, ended: float,
+                    trace_id: str = "", parent_id: Optional[int] = None,
+                    span_id: Optional[int] = None, **tags) -> Span:
+        """Record an already-timed span with an explicit (remote) parent.
+
+        This is the distributed-tracing primitive: per-request replica
+        spans (queue wait, batch wait, score time) are measured with
+        explicit clock stamps — not ``with`` blocks — and parent onto the
+        dispatcher-side root span carried by a :class:`TraceContext`.
+        ``span_id`` lets a pre-allocated id (:meth:`allocate_id`) be
+        honoured; ``parent_id`` defaults to the innermost open span.
+        """
+        span = Span(name=name,
+                    span_id=self.allocate_id() if span_id is None else span_id,
+                    parent_id=self.active_id if parent_id is None else parent_id,
+                    tags=tags, started=started, trace_id=trace_id)
+        self._finish(span, max(0.0, ended - started))
+        return span
+
+    def _finish(self, span: Span, duration_s: float) -> None:
+        span.duration_s = duration_s
+        self.n_spans += 1
+        if self.metrics is not None:
+            self.metrics.histogram(f"span.{span.name}").observe(duration_s)
+        if self.sink is not None:
+            self.sink.emit(span.as_event())

@@ -50,6 +50,8 @@ from repro.config import ScaleProfile, get_profile
 from repro.exceptions import ParallelError
 from repro.experiments.context import ExperimentContext
 from repro.obs import Instrumentation, ListSink, instrumented
+from repro.obs.slo import SLOMonitor, SLOSpec
+from repro.obs.spans import TraceStamper
 from repro.parallel.pool import (
     RemoteFailure,
     resolve_start_method,
@@ -99,6 +101,10 @@ def _build_service(config: Mapping[str, object],
         servable = registry.get(config["model"], context=context)
         detector = _build_detector(config, context, servable)
     retry_payload = config.get("retry_policy")
+    slo_payload = config.get("slo")
+    slo = (SLOMonitor([SLOSpec.from_dict(spec) for spec in slo_payload],
+                      instrumentation=instrumentation)
+           if slo_payload else None)
     return ScoringService(
         servable, detector=detector, threshold=config["threshold"],
         max_batch_size=config["max_batch_size"],
@@ -108,7 +114,8 @@ def _build_service(config: Mapping[str, object],
         # A poison request must cost one error verdict, not one replica.
         isolate_poison=True,
         injector=injector,
-        instrumentation=instrumentation)
+        instrumentation=instrumentation,
+        slo=slo)
 
 
 def _build_detector(config: Mapping[str, object], context: ExperimentContext,
@@ -121,6 +128,17 @@ def _build_detector(config: Mapping[str, object], context: ExperimentContext,
     return build_defense(config["defense"], context,
                          config.get("defense_params") or {},
                          model=servable.model)
+
+
+def _crash_payload(payload) -> Tuple[object, Optional[Dict[str, object]]]:
+    """Split a dying-gasp payload into (reliability dict, obs snapshot).
+
+    Accepts both the current ``{"reliability": ..., "obs": ...}`` form and
+    the bare reliability dict older workers shipped.
+    """
+    if isinstance(payload, Mapping) and "reliability" in payload:
+        return payload.get("reliability"), payload.get("obs")
+    return payload, None
 
 
 def _fleet_worker(worker_id: int, config: Dict[str, object],
@@ -136,7 +154,7 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
     the dispatcher-assigned sequence numbers so the merge is
     submission-ordered regardless of which replica scored what.
     """
-    from repro.serving.service import ScoringRequest
+    from dataclasses import replace as dataclass_replace
 
     plan_payload = config.get("fault_plan")
     injector = (FaultPlan.from_dict(plan_payload).injector(
@@ -144,9 +162,12 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
     # When the dispatcher observes, every replica runs its own collector
     # and ships the merged snapshot (metrics + bounded event buffer) home
     # inside the existing stats message — no extra queue, no extra pickle
-    # per verdict.
+    # per verdict.  The span-id namespace is ``worker_id + 1`` (restarts
+    # get a fresh worker id), so replica spans never collide with the
+    # dispatcher's (namespace 0) or another replica's in a stitched trace.
     obs = (Instrumentation(sink=ListSink(max_events=_WORKER_OBS_EVENT_CAP),
-                           tags={"worker": worker_id})
+                           tags={"worker": worker_id},
+                           namespace=worker_id + 1)
            if config.get("observe") else None)
     service = None
     try:
@@ -190,9 +211,10 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
             fired = maybe_fire(injector, "fleet.dispatch",
                                seq=seq, request_id=request.request_id)
             if fired is not None and fired.action == "malformed":
-                request = ScoringRequest(
-                    request_id=request.request_id,
-                    payload=np.full(service.n_features, np.nan))
+                # Corrupt the payload only: the trace context (and id) must
+                # survive so the poison request's error span joins its tree.
+                request = dataclass_replace(
+                    request, payload=np.full(service.n_features, np.nan))
             pending[request.request_id] = seq
             emit(service.submit(request, enqueued_at=enqueued_at))
         emit(service.drain())
@@ -209,12 +231,17 @@ def _fleet_worker(worker_id: int, config: Dict[str, object],
     except WorkerCrash:
         # Dying gasp: flush the claims/verdicts already queued (plus this
         # crash's accounting) through the feeder thread, then die hard —
-        # the dispatcher must never see a half-written message.
+        # the dispatcher must never see a half-written message.  The obs
+        # snapshot rides along so spans recorded before the crash (error-
+        # tagged flushes included) survive into the dispatcher's stream.
         reliability = service.reliability
         if injector is not None:
             reliability.record_faults(injector.fired)
         try:
-            result_queue.put(("crashed", worker_id, reliability.as_dict()))
+            result_queue.put(("crashed", worker_id, {
+                "reliability": reliability.as_dict(),
+                "obs": obs.snapshot() if obs is not None else None,
+            }))
             result_queue.close()
             result_queue.join_thread()
         finally:
@@ -304,8 +331,28 @@ class WorkerFleet:
         :meth:`score_stream` folds them (plus the dispatcher's own
         ``fleet.dispatches`` / ``fleet.redispatches`` / ``fleet.restarts``
         counters) into this object; the merged snapshot is surfaced on
-        :attr:`FleetReport.obs`.  ``None`` (the default) disables
-        observation fleet-wide.
+        :attr:`FleetReport.obs`.  Every dispatched request is additionally
+        *traced*: the dispatcher stamps a
+        :class:`~repro.obs.trace.TraceContext` on (root span per request),
+        replicas record the per-hop child spans against it, and the merged
+        event stream reconstructs into one span tree per request via
+        :class:`~repro.obs.spans.SpanCollector`.  ``None`` (the default)
+        disables observation fleet-wide.
+    trace_sample_every:
+        Head-based trace sampling: stamp a trace on the first request and
+        every ``trace_sample_every``-th after it, passing the rest through
+        untraced (see :class:`~repro.obs.spans.TraceStamper`).  ``1`` (the
+        default) traces every request — right for chaos soaks and
+        debugging; raise it in throughput-critical serving so per-request
+        span recording and event transport stay inside the overhead
+        budget while every trace that *is* taken remains a complete tree.
+    slo_specs:
+        Optional :class:`~repro.obs.slo.SLOSpec` objectives armed inside
+        every replica: each worker's service runs its own
+        :class:`~repro.obs.slo.SLOMonitor` fed by its verdicts, emits
+        alert events (merged home like all worker events) and — for
+        ``on_breach="shed"/"fallback"`` specs — degrades independently
+        while its local windows burn.
     """
 
     def __init__(self, n_workers: Optional[int] = None, model: str = "target",
@@ -322,7 +369,9 @@ class WorkerFleet:
                  restart_budget: int = 2,
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 instrumentation: Optional[Instrumentation] = None) -> None:
+                 instrumentation: Optional[Instrumentation] = None,
+                 trace_sample_every: int = 1,
+                 slo_specs: Optional[Sequence[SLOSpec]] = None) -> None:
         self.n_workers = resolve_workers(n_workers)
         self.model = model
         self.defense = defense
@@ -347,6 +396,11 @@ class WorkerFleet:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self.instrumentation = instrumentation
+        if trace_sample_every < 1:
+            raise ParallelError(
+                f"trace_sample_every must be >= 1, got {trace_sample_every}")
+        self.trace_sample_every = int(trace_sample_every)
+        self.slo_specs = tuple(slo_specs or ())
         self.servable = None
         self._detector = None
         self._mp_context = None
@@ -384,6 +438,8 @@ class WorkerFleet:
             "retry_policy": (self.retry_policy.to_dict()
                              if self.retry_policy is not None else None),
             "observe": self.instrumentation is not None,
+            "slo": ([spec.as_dict() for spec in self.slo_specs]
+                    if self.slo_specs else None),
         }
 
     def _spawn_worker(self) -> int:
@@ -486,7 +542,8 @@ class WorkerFleet:
 
     def score_stream(self, requests: Sequence,
                      rate_per_s: Optional[float] = None,
-                     seed: int = 0) -> Tuple[List, FleetReport]:
+                     seed: int = 0,
+                     progress=None) -> Tuple[List, FleetReport]:
         """Replay ``requests`` through the fleet; one-shot per start.
 
         Returns ``(verdicts, report)`` with verdicts merged in submission
@@ -499,6 +556,19 @@ class WorkerFleet:
         every verdict arrived (a redispatched request must never strand
         behind a sentinel), so a subsequent call transparently starts a
         fresh fleet.
+
+        With instrumentation attached, every ``trace_sample_every``-th
+        request is stamped with a :class:`~repro.obs.trace.TraceContext`
+        before dispatch and its root span is closed as its verdict
+        arrives; a redispatched request keeps its original context, so
+        whichever replica finally scores it parents onto the same root.
+
+        ``progress``, if given, is called from the collection loop —
+        ``progress(info)`` with ``new_verdicts`` (just-arrived, merge
+        order), ``n_done``, ``n_expected``, ``elapsed_s``, ``restarts``
+        and ``redispatches`` — whenever verdicts arrive and on every
+        liveness-poll tick; the live ``serve --observe`` dashboard
+        publisher hangs off this hook.
         """
         if not requests:
             return [], FleetReport(n_workers=self.n_workers,
@@ -519,6 +589,9 @@ class WorkerFleet:
             from repro.serving.loadgen import _poisson_offsets
 
             offsets = _poisson_offsets(len(requests), rate_per_s, seed)
+        obs = self.instrumentation
+        stamper = (TraceStamper(obs, sample_every=self.trace_sample_every)
+                   if obs is not None else None)
         started = time.perf_counter()
         stamps: Dict[int, float] = {}
         for seq, request in enumerate(requests):
@@ -527,8 +600,12 @@ class WorkerFleet:
                 if remaining > 0:
                     time.sleep(remaining)
             stamps[seq] = time.perf_counter()
+            if stamper is not None:
+                # The stamped request is kept so a redispatch after a
+                # replica death reuses the same trace context and root.
+                request = requests[seq] = stamper.stamp(request,
+                                                        started=stamps[seq])
             self._task_queue.put((seq, request, stamps[seq]))
-        obs = self.instrumentation
         if obs is not None:
             obs.count("fleet.dispatches", len(requests))
 
@@ -566,6 +643,18 @@ class WorkerFleet:
                     "every fleet replica died and the restart budget is "
                     f"exhausted ({len(verdicts)}/{n_expected} verdicts in)")
 
+        def report_progress(fresh: List) -> None:
+            if progress is None:
+                return
+            progress({
+                "new_verdicts": fresh,
+                "n_done": len(verdicts),
+                "n_expected": n_expected,
+                "elapsed_s": time.perf_counter() - started,
+                "restarts": reliability.restarts,
+                "redispatches": reliability.redispatches,
+            })
+
         last_progress = time.monotonic()
         while len(verdicts) < n_expected:
             try:
@@ -580,6 +669,7 @@ class WorkerFleet:
                                 if not process.is_alive()]:
                     handle_death(dead_id)
                     last_progress = time.monotonic()
+                report_progress([])
                 if time.monotonic() - last_progress > self.timeout_s:
                     self.close()
                     raise ParallelError(
@@ -591,14 +681,23 @@ class WorkerFleet:
                 claims.setdefault(worker_id, set()).add(payload)
             elif kind == "verdicts":
                 owned = claims.setdefault(worker_id, set())
+                fresh = []
                 for seq, verdict in payload:
                     owned.discard(seq)
                     if seq in verdicts:
                         reliability.duplicates += 1
                     else:
                         verdicts[seq] = verdict
+                        fresh.append(verdict)
+                if stamper is not None:
+                    stamper.finish_all(fresh)
+                if fresh:
+                    report_progress(fresh)
             elif kind == "crashed":
-                reliability.merge(ReliabilityReport.from_dict(payload))
+                crash_reliability, crash_obs = _crash_payload(payload)
+                reliability.merge(ReliabilityReport.from_dict(crash_reliability))
+                if obs is not None:
+                    obs.merge_snapshot(crash_obs)
                 handle_death(worker_id)
             elif kind == "ready":
                 claims.setdefault(worker_id, set())
@@ -621,7 +720,10 @@ class WorkerFleet:
                 # Crashed during drain: all verdicts are already in, so
                 # nothing is lost — fold its accounting and stop waiting
                 # for its stats.
-                reliability.merge(ReliabilityReport.from_dict(payload))
+                crash_reliability, crash_obs = _crash_payload(payload)
+                reliability.merge(ReliabilityReport.from_dict(crash_reliability))
+                if obs is not None:
+                    obs.merge_snapshot(crash_obs)
                 process = self._processes.pop(worker_id, None)
                 if process is not None:
                     process.join(timeout=5.0)

@@ -62,9 +62,14 @@ class MicroBatcher(Generic[T, R]):
         isolated into an ``error_fn`` result.
     instrumentation:
         Optional :class:`~repro.obs.Instrumentation`; when set, every
-        submit updates the ``batcher.queue_depth`` gauge and every flush
-        records the batch size in the ``batcher.batch_size`` histogram.
-        ``None`` (the default) keeps the hot path untouched.
+        flush samples the ``batcher.queue_depth`` gauge (pre-flush peak,
+        then post-flush leftover — batch-boundary sampling, so the
+        per-item submit path stays instrumentation-free) and records the
+        batch size in the ``batcher.batch_size`` histogram plus its lag
+        past the oldest item's deadline in ``batcher.flush_lag_ms``
+        (negative = flushed with headroom) — the raw signal behind the
+        flush-deadline SLO.  ``None`` (the default) keeps the hot path
+        untouched.
     """
 
     def __init__(self, flush_fn: Callable[[List[T]], Sequence[R]],
@@ -90,6 +95,8 @@ class MicroBatcher(Generic[T, R]):
         self._on_retry = on_retry
         self._on_isolate = on_isolate
         self._obs = instrumentation
+        self._depth_gauge = (instrumentation.metrics.gauge("batcher.queue_depth")
+                            if instrumentation is not None else None)
         self._pending: List[T] = []
         self._oldest_enqueued_at: Optional[float] = None
         self.n_submitted = 0
@@ -121,8 +128,6 @@ class MicroBatcher(Generic[T, R]):
             self._oldest_enqueued_at = self._clock()
         self._pending.append(item)
         self.n_submitted += 1
-        if self._obs is not None:
-            self._obs.gauge("batcher.queue_depth", len(self._pending))
         if len(self._pending) >= self.max_batch_size:
             return self.flush()
         return []
@@ -181,8 +186,18 @@ class MicroBatcher(Generic[T, R]):
         self.n_flushes += 1
         self.batch_sizes.append(len(batch))
         if self._obs is not None:
+            # Queue depth is sampled at flush boundaries: depth grows
+            # monotonically between flushes, so the pre-flush batch size
+            # IS the interval's peak and the leftover is the level the
+            # next interval starts from — same max and same final value
+            # as per-submit sampling, with zero per-item hot-path work.
+            self._depth_gauge.set(len(batch))
+            self._depth_gauge.set(len(self._pending))
             self._obs.observe("batcher.batch_size", len(batch))
-            self._obs.gauge("batcher.queue_depth", len(self._pending))
+            if oldest is not None:
+                deadline = oldest + self.max_delay_ms / 1000.0
+                self._obs.observe("batcher.flush_lag_ms",
+                                  (self._clock() - deadline) * 1000.0)
         return results
 
     def _attempt(self, batch: List[T]) -> List[R]:

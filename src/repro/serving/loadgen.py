@@ -175,7 +175,8 @@ def replay(service: ScoringService, requests: Sequence[ScoringRequest],
            arrival_times: Optional[Sequence[float]] = None,
            seed: int = 0,
            sleep: Callable[[float], None] = time.sleep,
-           now: Callable[[], float] = time.perf_counter) -> List[Verdict]:
+           now: Callable[[], float] = time.perf_counter,
+           progress: Optional[Callable[[dict], None]] = None) -> List[Verdict]:
     """Replay a request stream through the service's micro-batcher.
 
     With ``rate_per_s`` (arrivals sampled like
@@ -188,6 +189,11 @@ def replay(service: ScoringService, requests: Sequence[ScoringRequest],
     back-to-back as fast as the service accepts them.  ``now`` must be the
     same time source as the service's ``clock``.  Returns verdicts in
     completion order (one per request).
+
+    ``progress``, if given, is called after every flush that produced
+    verdicts with ``{"new_verdicts": [...], "n_done": int,
+    "n_expected": int, "elapsed_s": float}`` — the same shape the fleet
+    dispatcher reports, so one live-dashboard publisher serves both paths.
     """
     offsets: Optional[np.ndarray] = None
     if arrival_times is not None:
@@ -200,6 +206,14 @@ def replay(service: ScoringService, requests: Sequence[ScoringRequest],
 
     verdicts: List[Verdict] = []
     start = now()
+
+    def collect(fresh: List[Verdict]) -> None:
+        verdicts.extend(fresh)
+        if progress is not None and fresh:
+            progress({"new_verdicts": fresh, "n_done": len(verdicts),
+                      "n_expected": len(requests),
+                      "elapsed_s": now() - start})
+
     for index, request in enumerate(requests):
         if offsets is not None:
             arrival = start + offsets[index]
@@ -209,9 +223,9 @@ def replay(service: ScoringService, requests: Sequence[ScoringRequest],
                 remaining = wake - now()
                 if remaining > 0:
                     sleep(remaining)
-                verdicts.extend(service.poll())
+                collect(service.poll())
                 if wake >= arrival:
                     break
-        verdicts.extend(service.submit(request))
-    verdicts.extend(service.drain())
+        collect(service.submit(request))
+    collect(service.drain())
     return verdicts

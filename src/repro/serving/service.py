@@ -51,6 +51,7 @@ from repro.config import CLASS_MALWARE, CLASS_NAMES
 from repro.defenses.base import DefendedDetector
 from repro.exceptions import ServingError
 from repro.features.extraction import CountSource
+from repro.obs.trace import TraceContext
 from repro.reliability import (CircuitBreaker, FaultInjector, ReliabilityReport,
                                RetryPolicy, maybe_fire)
 from repro.serving.batcher import MicroBatcher
@@ -63,10 +64,18 @@ RequestPayload = Union[ApiLog, Mapping[str, int], np.ndarray]
 
 @dataclass(frozen=True)
 class ScoringRequest:
-    """One unit of scoring work submitted to the service."""
+    """One unit of scoring work submitted to the service.
+
+    ``trace`` is the optional distributed-tracing context a dispatcher
+    stamps on (see :class:`~repro.obs.spans.TraceStamper`); the service
+    then records each hop of the request's life — queue wait, batch wait,
+    score time — as spans of that trace.  ``None`` (the default) traces
+    nothing and costs one ``is None`` check.
+    """
 
     request_id: str
     payload: RequestPayload
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -150,8 +159,19 @@ class ScoringService:
         size), the ``serve.requests`` / ``serve.sheds`` /
         ``serve.fallbacks`` / ``serve.errors`` / ``serve.flush_failures``
         counters track degradation, and the micro-batcher reports its
-        queue depth and batch sizes.  ``None`` (the default) leaves the
+        queue depth and batch sizes.  Requests carrying a
+        :class:`~repro.obs.trace.TraceContext` additionally get per-hop
+        spans (``fleet.queue``, ``batcher.enqueue``, ``request.score``)
+        recorded against their trace.  ``None`` (the default) leaves the
         hot path byte-for-byte unchanged.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOMonitor`.  Every flush feeds
+        its verdict latencies in and re-evaluates the burn-rate windows
+        (on this service's ``clock``); a breached spec with
+        ``on_breach="shed"`` makes :meth:`submit` shed arriving requests
+        while the breach is active, and ``on_breach="fallback"`` demotes
+        a defended endpoint like ``fallback_after`` does — degradation
+        driven by measured burn instead of breaker trips.
     """
 
     def __init__(self, servable: ServableModel,
@@ -165,7 +185,7 @@ class ScoringService:
                  fallback_after: Optional[int] = None,
                  injector: Optional[FaultInjector] = None,
                  retry_sleep: Callable[[float], None] = time.sleep,
-                 instrumentation=None) -> None:
+                 instrumentation=None, slo=None) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ServingError(f"threshold must lie in [0, 1], got {threshold}")
         if fallback_after is not None and fallback_after < 1:
@@ -180,6 +200,8 @@ class ScoringService:
         self._breaker = circuit_breaker
         self._injector = injector
         self._obs = instrumentation
+        self._slo = slo
+        self._trace_pickups: dict = {}
         self._fallback_after = fallback_after
         self._defense_failures = 0
         self._fallen_back = False
@@ -403,17 +425,65 @@ class ScoringService:
         With instrumentation attached the whole attempt runs inside one
         per-batch ``service.flush`` span; failures count in
         ``serve.flush_failures`` and scored requests in ``serve.requests``.
+        Traced requests get their ``batcher.enqueue`` / ``request.score``
+        spans recorded here, and an attached SLO monitor is fed and
+        re-evaluated once per flush — batch-level work, like every other
+        instrumentation point.
         """
         if self._obs is None:
-            return self._flush_attempt(items)
-        with self._obs.span("service.flush", n=len(items)):
+            verdicts = self._flush_attempt(items)
+            if self._slo is not None:
+                self._feed_slo(verdicts)
+            return verdicts
+        with self._obs.span("service.flush", n=len(items)) as flush_span:
             try:
                 verdicts = self._flush_attempt(items)
             except BaseException:
                 self._obs.count("serve.flush_failures")
                 raise
             self._obs.count("serve.requests", len(verdicts))
+            if self._trace_pickups:  # only traced requests have hop spans
+                self._record_request_spans(items, flush_span.started)
+            if self._slo is not None:
+                self._feed_slo(verdicts)
             return verdicts
+
+    def _record_request_spans(self, items: Sequence[Tuple[ScoringRequest, float]],
+                              flush_started: float) -> None:
+        """Close the per-hop spans of every traced request in the batch."""
+        obs = self._obs
+        pickups = self._trace_pickups
+        finished = self._clock()
+        batch = len(items)
+        for request, _ in items:
+            trace = request.trace
+            if trace is None:
+                continue
+            pickup = pickups.pop(request.request_id, None)
+            if pickup is not None:
+                obs.record_span("batcher.enqueue", pickup, flush_started,
+                                trace=trace)
+            obs.record_span("request.score", flush_started, finished,
+                            trace=trace, batch=batch)
+
+    def _feed_slo(self, verdicts: Sequence[Verdict]) -> None:
+        """Feed one flush's outcomes to the SLO monitor and re-evaluate.
+
+        The monitor runs on this service's clock so window bucketing and
+        verdict timing share one time base.  A breached fallback-form spec
+        demotes a defended endpoint exactly like ``fallback_after``.
+        """
+        slo = self._slo
+        now = self._clock()
+        for verdict in verdicts:
+            slo.observe(latency_ms=verdict.latency_ms, good=True, now=now)
+        slo.evaluate(now=now)
+        if (slo.wants_fallback() and not self._fallen_back
+                and self.detector is not None):
+            self._fallen_back = True
+            self.reliability.fallbacks += 1
+            if self._obs is not None:
+                self._obs.count("serve.fallbacks")
 
     def _flush_attempt(self, items: List[Tuple[ScoringRequest, float]]) -> List[Verdict]:
         try:
@@ -454,11 +524,24 @@ class ScoringService:
         request, started = item
         if self._obs is not None:
             self._obs.count("serve.errors")
+            if request.trace is not None:
+                pickup = self._trace_pickups.pop(request.request_id, started)
+                self._obs.record_span("request.score", pickup, self._clock(),
+                                      trace=request.trace, error=True)
+        if self._slo is not None:
+            self._slo.observe(good=False, now=self._clock())
         return self._degraded_verdict(request, started, "error")
 
     def _should_shed(self) -> bool:
-        """Whether an arriving submission must be refused right now."""
-        return self._breaker is not None and not self._breaker.allow()
+        """Whether an arriving submission must be refused right now.
+
+        Two independent triggers: an open circuit breaker (flushes are
+        *failing*) and an active shed-armed SLO breach (flushes succeed
+        but burn the latency budget too fast).
+        """
+        if self._breaker is not None and not self._breaker.allow():
+            return True
+        return self._slo is not None and self._slo.should_shed()
 
     # ------------------------------------------------------------------ #
     # Public scoring API
@@ -500,6 +583,12 @@ class ScoringService:
             if self._obs is not None:
                 self._obs.count("serve.sheds")
             return [self._degraded_verdict(request, started, "shed")]
+        if self._obs is not None and request.trace is not None:
+            # The queue-wait hop ends here: dispatcher enqueue -> pickup.
+            pickup = self._clock()
+            self._obs.record_span("fleet.queue", started, pickup,
+                                  trace=request.trace)
+            self._trace_pickups[request.request_id] = pickup
         return self._batcher.submit((request, started))
 
     def poll(self) -> List[Verdict]:

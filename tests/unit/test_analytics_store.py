@@ -308,6 +308,78 @@ class TestIngest:
             import_bench(store, [bad])
 
 
+class TestTraceIngest:
+    def _traced_snapshot(self):
+        return {"metrics": {}, "events": [
+            {"kind": "span", "name": "request", "value": 0.010,
+             "span_id": 1, "parent_id": 0, "trace_id": "adv-0",
+             "tags": {"status": "ok"}},
+            {"kind": "span", "name": "request.score", "value": 0.002,
+             "span_id": 2, "parent_id": 1, "trace_id": "adv-0",
+             "tags": {"worker": 1, "error": True}},
+            {"kind": "span", "name": "fleet.dispatch", "value": 0.001,
+             "span_id": 3, "parent_id": 0},  # untraced: not a request hop
+            {"kind": "alert", "name": "slo.latency", "value": 20.0,
+             "span_id": 0, "parent_id": 0,
+             "tags": {"slow_burn": 7.5, "attainment": 0.8,
+                      "on_breach": "shed"}},
+        ]}
+
+    def test_traced_spans_and_alerts_land_in_tables(self, store):
+        record_serve_run(store, "run-t", [_verdict("adv-0", CLASS_CLEAN)],
+                         obs_snapshot=self._traced_snapshot())
+        spans = store.scan("spans")
+        assert len(spans) == 2  # the untraced dispatch span stays out
+        by_name = {row["name"].item(): row for row in spans}
+        root = by_name["request"]
+        assert root["trace_id"] == "adv-0"
+        assert root["duration_ms"] == pytest.approx(10.0)
+        assert int(root["worker"]) == -1
+        score = by_name["request.score"]
+        assert int(score["worker"]) == 1
+        assert int(score["error"]) == 1
+        alerts = store.scan("alerts")
+        assert len(alerts) == 1
+        assert alerts["slo"][0] == "slo.latency"
+        assert alerts["on_breach"][0] == "shed"
+        assert float(alerts["fast_burn"][0]) == pytest.approx(20.0)
+        assert float(alerts["slow_burn"][0]) == pytest.approx(7.5)
+        assert float(alerts["attainment"][0]) == pytest.approx(0.8)
+
+    def test_span_rows_reassemble_into_trees(self, store):
+        from repro.obs import SpanCollector
+
+        record_serve_run(store, "run-t", [_verdict("adv-0", CLASS_CLEAN)],
+                         obs_snapshot=self._traced_snapshot())
+        collector = SpanCollector()
+        for row in store.scan("spans"):
+            collector.add({"kind": "span", "name": row["name"].item(),
+                           "trace_id": row["trace_id"].item(),
+                           "span_id": int(row["span_id"]),
+                           "parent_id": int(row["parent_id"]),
+                           "value": float(row["duration_ms"]) / 1000.0})
+        tree = collector.tree("adv-0")
+        assert tree.complete
+        assert tree.root.name == "request"
+
+    def test_events_carry_trace_id(self, store):
+        record_serve_run(store, "run-t", [],
+                         obs_snapshot=self._traced_snapshot())
+        events = store.scan("events")
+        traced = events[events["name"] == "request"]
+        assert traced["trace_id"].tolist() == ["adv-0"]
+
+    def test_old_events_segments_upgrade_with_blank_trace_id(self, store):
+        old_dtype = np.dtype([("run_id", "U64"), ("kind", "U16"),
+                              ("name", "U80"), ("value", "f8"),
+                              ("span_id", "i8"), ("parent_id", "i8")])
+        old = np.array([("run-old", "span", "request", 0.01, 1, 0)],
+                       dtype=old_dtype)
+        upgraded = schema.upgrade("events", old)
+        assert upgraded["trace_id"].tolist() == [""]
+        assert upgraded["name"].tolist() == ["request"]
+
+
 # --------------------------------------------------------------------- #
 # Report
 # --------------------------------------------------------------------- #
@@ -366,6 +438,39 @@ class TestReport:
         assert report["n_serve_runs"] == 1
         assert report["bench_runs"] == ["bench:BENCH_x"]
         assert "imported benchmarks: bench:BENCH_x" in render_report(report)
+
+    def test_empty_store_renders_explicit_message(self, store):
+        rendered = render_report(build_report(store))
+        assert "no recorded runs" in rendered
+
+    def test_runs_only_store_names_every_skipped_section(self, store):
+        # A store holding runs rows but no verdicts/metrics (e.g. recorded
+        # by a version that predates those tables) must diagnose each
+        # missing section instead of silently rendering nothing.
+        store.append("runs", [{"run_id": "bare", "kind": "serve",
+                               "started_at": 1.0, "n_requests": 4}])
+        rendered = render_report(build_report(store))
+        assert "evasion drift: skipped — no adversarial verdicts" in rendered
+        assert "p99 regressions: skipped — need at least 2 serve runs" \
+            in rendered
+        assert "slo alerts: none recorded" in rendered
+
+    def test_alert_rows_render_headline(self, store):
+        _serve_run(store, "run-1", started_at=1.0)
+        store.append("alerts", [
+            {"run_id": "run-1", "slo": "slo.latency", "on_breach": "shed",
+             "fast_burn": 20.0, "slow_burn": 7.0, "attainment": 0.8},
+            {"run_id": "run-1", "slo": "slo.latency", "on_breach": "shed",
+             "fast_burn": 35.0, "slow_burn": 9.0, "attainment": 0.7},
+        ])
+        report = build_report(store)
+        assert report["alerts"]["n_alerts"] == 2
+        entry = report["alerts"]["by_slo"]["slo.latency"]
+        assert entry["n_alerts"] == 2
+        assert entry["worst_fast_burn"] == pytest.approx(35.0)
+        rendered = render_report(report)
+        assert "slo alerts: 2 fired" in rendered
+        assert "slo.latency ×2" in rendered
 
 
 # --------------------------------------------------------------------- #

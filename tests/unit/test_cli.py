@@ -480,3 +480,94 @@ class TestObservabilityCommands:
     def test_report_on_empty_store(self, capsys, tmp_path):
         assert main(["report", "--store", str(tmp_path / "empty")]) == 0
         assert "no recorded runs" in capsys.readouterr().out
+
+
+class TestTraceAndTopCommands:
+    def test_slo_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--slo-ms", "25", "--slo-breach", "shed"])
+        assert args.slo_ms == 25.0
+        assert args.slo_objective == 0.99
+        assert args.slo_breach == "shed"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.slo_ms is None
+        assert defaults.slo_breach == "alert"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--slo-breach", "explode"])
+
+    def test_top_parser_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top"])
+        args = build_parser().parse_args(["top", "--store", "runs", "--once"])
+        assert args.once is True
+        assert args.interval == 1.0
+        assert args.frames is None
+        args = build_parser().parse_args(
+            ["top", "--store", "runs", "--frames", "3", "--interval", "0.1"])
+        assert args.frames == 3 and args.interval == 0.1
+
+    def test_export_metrics_parser_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export-metrics"])
+        args = build_parser().parse_args(
+            ["export-metrics", "--store", "runs", "--out", "prom"])
+        assert str(args.store) == "runs" and str(args.out) == "prom"
+
+    def test_serve_with_slo_prints_trace_summary(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code = main(["serve", "--scale", "tiny", "--seed", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "16", "--batch-size", "8",
+                     "--mix", "0.5,0.5,0", "--observe",
+                     "--store", str(store), "--slo-ms", "250"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "traces: 16 requests traced — 16 complete, 0 orphans" in output
+        assert "request" in output  # the sample span tree renders
+        assert "slo alerts: none fired" in output
+
+        # The replay published a live snapshot that `top` can render after
+        # the fact, and `export-metrics` can turn into Prometheus text.
+        assert main(["top", "--store", str(store), "--once"]) == 0
+        dashboard = capsys.readouterr().out
+        assert "repro top — finished" in dashboard
+        assert "progress" in dashboard and "latency" in dashboard
+        assert "slo" in dashboard
+
+        out_dir = tmp_path / "prom"
+        assert main(["export-metrics", "--store", str(store),
+                     "--out", str(out_dir)]) == 0
+        exposition = capsys.readouterr().out
+        assert "repro_serve_requests_total 16" in exposition
+        assert (out_dir / "metrics.prom").read_text(
+            encoding="utf-8") == exposition
+
+    def test_forced_breach_fires_alert_and_sheds(self, capsys, tmp_path):
+        code = main(["serve", "--scale", "tiny", "--seed", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "24", "--batch-size", "8",
+                     "--mix", "0.5,0.5,0", "--observe",
+                     "--slo-ms", "0.0001", "--slo-breach", "shed"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "slo alerts: 1 fired (slo.latency)" in output
+        assert "serve.sheds" in output
+
+    def test_top_without_snapshot_renders_placeholder(self, capsys, tmp_path):
+        assert main(["top", "--store", str(tmp_path / "empty"),
+                     "--once"]) == 0
+        assert "no live snapshot" in capsys.readouterr().out
+
+    def test_export_metrics_without_snapshot_fails(self, capsys, tmp_path):
+        assert main(["export-metrics", "--store",
+                     str(tmp_path / "empty")]) == 1
+        err = capsys.readouterr().err
+        assert "no live snapshot" in err and "serve --observe" in err
+
+    def test_report_out_creates_nested_parent_dirs(self, capsys, tmp_path):
+        out = tmp_path / "deep" / "nested" / "reports"
+        assert main(["report", "--store", str(tmp_path / "empty"),
+                     "--out", str(out)]) == 0
+        assert (out / "report.txt").exists()
+        assert "no recorded runs" in (out / "report.txt").read_text(
+            encoding="utf-8")
